@@ -1,0 +1,48 @@
+"""Figure 3: total seeding cost vs α — same grid as Figure 2.
+
+Paper shape: TI-CSRM consistently pays the lowest total seed incentives
+across every α and incentive model; in the superlinear model the gap
+reaches orders of magnitude (the paper plots it on a log axis).
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table, save_report
+
+from benchmarks.conftest import cached_alpha_sweep, run_once
+
+
+@pytest.mark.parametrize("dataset_name", ["flixster", "epinions"])
+def test_fig3_seeding_cost_vs_alpha(benchmark, dataset_name, request, bench_config):
+    dataset = request.getfixturevalue(dataset_name)
+    rows = run_once(benchmark, cached_alpha_sweep, dataset, bench_config)
+    pivot = {}
+    for row in rows:
+        key = (row["incentives"], row["alpha"])
+        pivot.setdefault(key, {})[row["algorithm"]] = row["seed_cost"]
+    out = [
+        {"incentives": model, "alpha": alpha, **values}
+        for (model, alpha), values in pivot.items()
+    ]
+    text = format_table(out)
+    print(f"\n== Figure 3: total seeding cost vs alpha ({dataset.name}) ==\n" + text)
+    save_report(f"fig3_seedcost_{dataset.name}", text)
+
+    # Shape: TI-CSRM's seeding cost is the lowest in every cell.
+    for (model, alpha), values in pivot.items():
+        csrm = values["TI-CSRM"]
+        for other in ("TI-CARM", "PageRank-GR", "PageRank-RR"):
+            assert csrm <= values[other] + 1e-6, (
+                f"{dataset.name}/{model}/alpha={alpha}: "
+                f"TI-CSRM cost {csrm} above {other} {values[other]}"
+            )
+
+    # Shape: superlinear model shows the largest CARM/CSRM cost ratio.
+    ratios = {}
+    for (model, alpha), values in pivot.items():
+        if values["TI-CSRM"] > 0:
+            ratios.setdefault(model, []).append(
+                values["TI-CARM"] / values["TI-CSRM"]
+            )
+    if "superlinear" in ratios and "linear" in ratios:
+        assert max(ratios["superlinear"]) >= max(ratios["linear"])

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: one incentivized ad campaign, end to end.
+
+Builds a small synthetic social network, sets up three advertisers with
+topic-targeted ads, prices seed incentives from each user's estimated
+influence, runs TI-CSRM, and prints the resulting allocation with the
+host's revenue split.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    rng_seed = 42
+
+    # --- 1. The social graph (the host's asset) -----------------------
+    from repro.graph.generators import powerlaw_configuration
+
+    graph = powerlaw_configuration(800, mean_degree=7.0, seed=rng_seed)
+    print(f"social graph: {graph.n} users, {graph.m} follow arcs")
+
+    # --- 2. Topic model and ads ---------------------------------------
+    # Ten latent topics; three ads, two of them in pure competition.
+    tic = repro.random_tic_model(graph, n_topics=10, seed=rng_seed)
+    gammas = repro.pure_competition_ads(3, n_topics=10, seed=rng_seed)
+    ad_probs = [tic.ad_probabilities(g) for g in gammas]
+
+    # --- 3. Price seed incentives from demonstrated influence ---------
+    # c_i(u) = alpha * sigma_i({u}) (linear incentives, Section 5).
+    singleton_spreads = [
+        repro.estimate_singleton_spreads_rr(graph, p, n_samples=4000, rng=rng_seed)
+        for p in ad_probs
+    ]
+    alpha = 1.0
+    incentives = [repro.compute_incentives(s, "linear", alpha) for s in singleton_spreads]
+
+    # --- 4. Advertiser contracts --------------------------------------
+    advertisers = [
+        repro.Advertiser(index=0, cpe=1.5, budget=120.0, name="running-shoes"),
+        repro.Advertiser(index=1, cpe=2.0, budget=150.0, name="trail-shoes"),
+        repro.Advertiser(index=2, cpe=1.0, budget=80.0, name="espresso"),
+    ]
+    instance = repro.RMInstance(graph, advertisers, ad_probs, incentives)
+
+    # --- 5. Run the host's allocation algorithm -----------------------
+    result = repro.ti_csrm(
+        instance,
+        eps=0.4,
+        theta_cap=3000,
+        opt_lower=[float(s.max()) for s in singleton_spreads],
+        seed=rng_seed,
+    )
+
+    # --- 6. Report -----------------------------------------------------
+    print(f"\n{result.summary()}\n")
+    for adv in advertisers:
+        seeds = result.allocation.seeds(adv.index)
+        print(
+            f"{adv.name:>14}: budget {adv.budget:7.1f} | "
+            f"revenue {result.revenue_per_ad[adv.index]:7.1f} | "
+            f"incentives {result.seeding_cost_per_ad[adv.index]:6.1f} | "
+            f"{len(seeds):3d} seeds, e.g. {seeds[:5]}"
+        )
+    total_payment = sum(result.payment_per_ad)
+    print(
+        f"\nhost takes {result.total_revenue:.1f} in engagement revenue; "
+        f"{result.total_seeding_cost:.1f} flows through to seed users "
+        f"({100 * result.total_seeding_cost / max(total_payment, 1e-9):.1f}% of payments)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""repro — Revenue Maximization in Incentivized Social Advertising.
+
+A complete reproduction of Aslay, Bonchi, Lakshmanan & Lu (VLDB 2017):
+the RM problem (monotone submodular maximization under a partition
+matroid plus submodular knapsacks), the CA-GREEDY / CS-GREEDY reference
+algorithms with their curvature-based guarantees, the scalable RR-set
+realizations TI-CARM / TI-CSRM, the PageRank baselines, and every
+substrate they stand on (CSR graphs, the TIC propagation model, RR-set
+sampling with TIM sample sizes, incentive models, synthetic analog
+datasets, and the experiment harness for all tables and figures).
+
+Quickstart::
+
+    import repro
+
+    dataset = repro.build_dataset("flixster_syn", n=1000)
+    instance = dataset.build_instance(incentive_model="linear", alpha=0.2)
+    result = repro.ti_csrm(instance, eps=0.5, theta_cap=2000,
+                           opt_lower=dataset.opt_lower_bounds(), seed=1)
+    print(result.summary())
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    TopicModelError,
+    InstanceError,
+    AllocationError,
+    EstimationError,
+    ConvergenceError,
+)
+from repro.graph import DiGraph, pagerank, compute_stats
+from repro.topics import (
+    TopicDistribution,
+    TICModel,
+    weighted_cascade,
+    random_tic_model,
+    pure_competition_ads,
+)
+from repro.diffusion import (
+    simulate_cascade,
+    simulate_competitive_cascades,
+    estimate_competitive_revenue,
+    estimate_spread,
+    estimate_singleton_spreads,
+    estimate_singleton_spreads_rr,
+    exact_spread,
+)
+from repro.rrset import RRSampler, RRCollection, sample_size, KPTEstimator
+from repro.incentives import INCENTIVE_MODELS, compute_incentives
+from repro.core import (
+    Advertiser,
+    RMInstance,
+    Allocation,
+    AllocationResult,
+    ExactOracle,
+    MonteCarloOracle,
+    RRStaticOracle,
+    ca_greedy,
+    cs_greedy,
+    exhaustive_optimum,
+    TIEngine,
+    ti_carm,
+    ti_csrm,
+    pagerank_gr,
+    pagerank_rr,
+    run_adaptive_campaign,
+    theorem2_bound,
+    theorem3_bound,
+    tightness_instance,
+)
+from repro.experiments import ExperimentConfig, build_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "TopicModelError",
+    "InstanceError",
+    "AllocationError",
+    "EstimationError",
+    "ConvergenceError",
+    "DiGraph",
+    "pagerank",
+    "compute_stats",
+    "TopicDistribution",
+    "TICModel",
+    "weighted_cascade",
+    "random_tic_model",
+    "pure_competition_ads",
+    "simulate_cascade",
+    "simulate_competitive_cascades",
+    "estimate_competitive_revenue",
+    "estimate_spread",
+    "estimate_singleton_spreads",
+    "estimate_singleton_spreads_rr",
+    "exact_spread",
+    "RRSampler",
+    "RRCollection",
+    "sample_size",
+    "KPTEstimator",
+    "INCENTIVE_MODELS",
+    "compute_incentives",
+    "Advertiser",
+    "RMInstance",
+    "Allocation",
+    "AllocationResult",
+    "ExactOracle",
+    "MonteCarloOracle",
+    "RRStaticOracle",
+    "ca_greedy",
+    "cs_greedy",
+    "exhaustive_optimum",
+    "TIEngine",
+    "ti_carm",
+    "ti_csrm",
+    "pagerank_gr",
+    "pagerank_rr",
+    "run_adaptive_campaign",
+    "theorem2_bound",
+    "theorem3_bound",
+    "tightness_instance",
+    "ExperimentConfig",
+    "build_dataset",
+    "__version__",
+]

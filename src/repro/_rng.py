@@ -1,0 +1,42 @@
+"""Random-number-generation helpers.
+
+Every stochastic routine in the library accepts a ``seed`` argument that may
+be ``None`` (non-deterministic), an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all three
+forms so modules never construct generators ad hoc, which keeps experiments
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` / ``SeedSequence`` for a
+        deterministic stream, or a ``Generator`` which is returned as-is
+        (allowing callers to thread one stream through many components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split *rng* into *count* independent child generators.
+
+    Used when per-advertiser sampling must be statistically independent
+    (e.g. one RR-set stream per ad) while remaining reproducible from a
+    single top-level seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

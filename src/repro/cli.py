@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the experiment pipeline without writing code:
+
+* ``datasets``  — list the synthetic analog datasets and their stats;
+* ``run``       — run one algorithm on one experimental cell;
+* ``table``     — regenerate Table 1 or 2;
+* ``sweep``     — a Figure 2/3-style α sweep on one dataset;
+* ``tightness`` — print the Figure 1 theory walkthrough numbers.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro run --dataset epinions_syn --algorithm TI-CSRM \\
+        --incentives linear --alpha 1.5 --n 1000
+    python -m repro sweep --dataset flixster_syn --models linear constant
+    python -m repro table --which 1
+    python -m repro tightness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import DATASET_BUILDERS, build_dataset
+from repro.experiments.figures import run_alpha_sweep
+from repro.experiments.harness import ALGORITHMS, run_algorithm
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table1_rows, table2_rows
+
+
+def _dataset_kwargs(args) -> dict:
+    kwargs: dict = {}
+    if args.n is not None:
+        if args.dataset == "livejournal_syn":
+            kwargs["scale"] = max(int(args.n).bit_length() - 1, 6)
+        else:
+            kwargs["n"] = args.n
+    if args.h is not None:
+        kwargs["h"] = args.h
+    return kwargs
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        eps=args.eps,
+        theta_cap=args.theta_cap,
+        grid_mode=args.grid,
+        seed=args.seed,
+    )
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name in sorted(DATASET_BUILDERS):
+        if args.build:
+            ds = build_dataset(name, **({"n": args.n} if args.n and name != "livejournal_syn" else {}))
+            from repro.graph.stats import compute_stats
+
+            stats = compute_stats(ds.graph, name=name, graph_type=ds.graph_type)
+            row = stats.as_row()
+            row["paper counterpart"] = ds.meta.get("paper_counterpart", "")
+            rows.append(row)
+        else:
+            rows.append({"dataset": name})
+    print(format_table(rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    dataset = build_dataset(args.dataset, **_dataset_kwargs(args))
+    config = _config(args)
+    instance = dataset.build_instance(
+        incentive_model=args.incentives, alpha=args.alpha
+    )
+    result = run_algorithm(args.algorithm, dataset, instance, config)
+    print(result.summary())
+    rows = [
+        {
+            "ad": i,
+            "budget": instance.budget(i),
+            "revenue": result.revenue_per_ad[i],
+            "incentives": result.seeding_cost_per_ad[i],
+            "seeds": len(result.allocation.seeds(i)),
+        }
+        for i in range(instance.h)
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    dataset = build_dataset(args.dataset, **_dataset_kwargs(args))
+    config = _config(args)
+    rows = run_alpha_sweep(
+        dataset,
+        config,
+        incentive_models=tuple(args.models),
+        algorithms=tuple(args.algorithms),
+    )
+    print(format_table(rows))
+    return 0
+
+
+def cmd_table(args) -> int:
+    size_kwargs = {"n": args.n} if args.n is not None else {}
+    if args.which == 1:
+        datasets = [
+            build_dataset(
+                name,
+                **(size_kwargs if name != "livejournal_syn" else {}),
+            )
+            for name in ("flixster_syn", "epinions_syn", "dblp_syn", "livejournal_syn")
+        ]
+        print(format_table(table1_rows(datasets)))
+    else:
+        datasets = [
+            build_dataset(name, **size_kwargs)
+            for name in ("flixster_syn", "epinions_syn")
+        ]
+        print(format_table(table2_rows(datasets)))
+    return 0
+
+
+def cmd_tightness(args) -> int:
+    from repro.core.bounds import theorem2_bound, tightness_instance
+    from repro.core.greedy import ca_greedy, cs_greedy, exhaustive_optimum
+    from repro.core.oracles import ExactOracle
+
+    instance, expected = tightness_instance()
+    oracle = ExactOracle(instance)
+    _, opt = exhaustive_optimum(instance, oracle)
+    rows = [
+        {"quantity": "optimal revenue", "value": opt},
+        {
+            "quantity": "CA-GREEDY (adversarial ties)",
+            "value": ca_greedy(instance, oracle, tie_break="cost").total_revenue,
+        },
+        {
+            "quantity": "CS-GREEDY",
+            "value": cs_greedy(instance, oracle).total_revenue,
+        },
+        {
+            "quantity": "Theorem 2 bound",
+            "value": theorem2_bound(
+                expected["kappa_pi"], expected["lower_rank"], expected["upper_rank"]
+            ),
+        },
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Revenue maximization in incentivized social advertising "
+        "(Aslay et al., VLDB 2017) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--n", type=int, default=None, help="graph size override")
+    common.add_argument("--h", type=int, default=None, help="number of advertisers")
+    common.add_argument("--eps", type=float, default=0.5, help="estimator accuracy")
+    common.add_argument("--theta-cap", type=int, default=2000, dest="theta_cap")
+    common.add_argument("--seed", type=int, default=7)
+    common.add_argument("--grid", choices=("quick", "paper"), default="quick")
+
+    p = sub.add_parser("datasets", parents=[common], help="list analog datasets")
+    p.add_argument("--build", action="store_true", help="build and show stats")
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("run", parents=[common], help="run one algorithm")
+    p.add_argument("--dataset", choices=sorted(DATASET_BUILDERS), required=True)
+    p.add_argument("--algorithm", choices=ALGORITHMS, default="TI-CSRM")
+    p.add_argument(
+        "--incentives",
+        choices=("linear", "constant", "sublinear", "superlinear"),
+        default="linear",
+    )
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", parents=[common], help="alpha sweep (Fig. 2/3)")
+    p.add_argument("--dataset", choices=sorted(DATASET_BUILDERS), required=True)
+    p.add_argument(
+        "--models",
+        nargs="+",
+        default=["linear"],
+        choices=("linear", "constant", "sublinear", "superlinear"),
+    )
+    p.add_argument(
+        "--algorithms", nargs="+", default=list(ALGORITHMS), choices=ALGORITHMS
+    )
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("table", parents=[common], help="regenerate Table 1/2")
+    p.add_argument("--which", type=int, choices=(1, 2), default=1)
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser(
+        "tightness", parents=[common], help="Figure 1 theory walkthrough"
+    )
+    p.set_defaults(func=cmd_tightness)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

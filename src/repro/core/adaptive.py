@@ -1,0 +1,254 @@
+"""Adaptive multi-window campaigns (paper future work iv).
+
+Section 7's last open direction: "study the problem in an online
+adaptive setting where the partial results of the campaign can be taken
+into account while deciding the next moves."  This module implements
+the natural batched version of that setting:
+
+* a campaign spans ``T`` time windows with one advertiser budget pool;
+* at each window the host plans seeds with TI-CSRM (or any configured
+  engine) against the *remaining* budgets, using the estimated payment
+  for feasibility exactly as in the one-shot problem;
+* the window's cascade then actually *realizes* (simulated under the
+  same TIC model); the advertiser is charged realized engagements plus
+  the incentives of the seeds actually used, and the spent amount is
+  deducted from its budget;
+* users engaged with an ad are frozen for it — they neither re-engage
+  nor qualify as future seeds for any ad (one endorsement per user, the
+  matroid constraint carried across windows);
+* planning in later windows excludes frozen users, so observed outcomes
+  steer subsequent seeding — the "adaptivity" of the setting.
+
+Compared with spending the whole budget in one window, adaptivity hedges
+estimation error: over-performing cascades consume budget (fewer future
+seeds needed), under-performing ones leave budget for corrective
+seeding.  ``bench_adaptive`` measures the realized-revenue difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.errors import InstanceError
+from repro.core.ads import Advertiser
+from repro.core.instance import RMInstance
+from repro.core.ticsrm import ti_csrm
+from repro.diffusion.simulate import simulate_cascade
+
+
+@dataclass
+class WindowOutcome:
+    """Realized results of one campaign window."""
+
+    window: int
+    seeds_per_ad: list[list[int]]
+    realized_engagements: list[int]
+    realized_revenue: list[float]
+    incentives_paid: list[float]
+    remaining_budgets: list[float]
+
+    @property
+    def total_revenue(self) -> float:
+        return float(sum(self.realized_revenue))
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of an adaptive campaign."""
+
+    windows: list[WindowOutcome] = field(default_factory=list)
+
+    @property
+    def total_revenue(self) -> float:
+        return float(sum(w.total_revenue for w in self.windows))
+
+    def revenue_per_ad(self, h: int) -> list[float]:
+        totals = [0.0] * h
+        for w in self.windows:
+            for i in range(h):
+                totals[i] += w.realized_revenue[i]
+        return totals
+
+
+class AdaptiveCampaign:
+    """Run a multi-window incentivized campaign with feedback.
+
+    Parameters
+    ----------
+    instance:
+        The full-campaign RM instance; its budgets are the total pools.
+    n_windows:
+        Number of planning/realization rounds ``T``.
+    planner_kwargs:
+        Passed to :func:`repro.core.ticsrm.ti_csrm` at each window
+        (``eps``, ``theta_cap``, ``opt_lower``, ...).
+    budget_split:
+        ``"even"`` plans each window with ``1/T`` of the remaining pool
+        scaled by the windows left (i.e. remaining / windows_left), which
+        spreads spend; ``"all"`` exposes the full remaining budget each
+        window (greedy front-loading).
+    seed:
+        Master seed for planning randomness and cascade realization.
+    """
+
+    def __init__(
+        self,
+        instance: RMInstance,
+        n_windows: int = 3,
+        planner_kwargs: dict | None = None,
+        budget_split: str = "even",
+        seed=None,
+    ) -> None:
+        if n_windows < 1:
+            raise InstanceError(f"n_windows must be >= 1, got {n_windows}")
+        if budget_split not in ("even", "all"):
+            raise InstanceError(f"unknown budget_split {budget_split!r}")
+        self.instance = instance
+        self.n_windows = int(n_windows)
+        self.planner_kwargs = dict(planner_kwargs or {})
+        self.budget_split = budget_split
+        self.rng = as_generator(seed)
+
+    def run(self) -> CampaignResult:
+        """Execute all windows; returns realized outcomes."""
+        inst = self.instance
+        h, n = inst.h, inst.n
+        remaining = [inst.budget(i) for i in range(h)]
+        frozen = np.zeros(n, dtype=bool)  # engaged-or-seeded users
+        result = CampaignResult()
+
+        for window in range(self.n_windows):
+            windows_left = self.n_windows - window
+            planned_budgets = [
+                rem if self.budget_split == "all" else max(rem / windows_left, 1e-9)
+                for rem in remaining
+            ]
+            built = self._window_instance(planned_budgets, frozen)
+            if built is None:
+                break
+            sub, sub_to_original = built
+            planner_seed = int(self.rng.integers(0, 2**31 - 1))
+            plan = ti_csrm(
+                sub, seed=planner_seed, blocked=frozen.copy(), **self.planner_kwargs
+            )
+
+            outcome = self._realize(
+                window,
+                plan.allocation.seed_sets(),
+                sub_to_original,
+                frozen,
+                remaining,
+            )
+            result.windows.append(outcome)
+            if all(rem <= 1e-9 for rem in remaining):
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    def _window_instance(self, budgets: list[float], frozen: np.ndarray):
+        """The remaining-market instance: frozen users are priced out.
+
+        Frozen users are excluded from seeding via the planner's
+        ``blocked`` mask (an engine-level pre-assignment, which keeps the
+        Eq.-10 ``c^max_i`` term meaningful); ads whose budget cannot
+        cover any remaining seed are dropped from planning (budget 0 is
+        invalid for RMInstance).  Returns ``(sub_instance,
+        sub_to_original)`` or ``None`` when no ad can still participate.
+        """
+        inst = self.instance
+        advertisers = []
+        probs = []
+        incentives = []
+        sub_to_original: list[int] = []
+        unfrozen = ~frozen
+        if not unfrozen.any():
+            return None
+        for i in range(inst.h):
+            cost = inst.incentives[i]
+            affordable = float(cost[unfrozen].min()) <= budgets[i]
+            if budgets[i] <= 0 or not affordable:
+                continue
+            advertisers.append(
+                Advertiser(
+                    index=len(advertisers),
+                    cpe=inst.cpe(i),
+                    budget=float(budgets[i]),
+                    name=f"ad-{i}",
+                )
+            )
+            probs.append(inst.ad_probs[i])
+            incentives.append(cost)
+            sub_to_original.append(i)
+        if not advertisers:
+            return None
+        sub = RMInstance(inst.graph, advertisers, probs, incentives)
+        return sub, sub_to_original
+
+    def _realize(
+        self,
+        window: int,
+        sub_seed_sets: list[list[int]],
+        sub_to_original: list[int],
+        frozen: np.ndarray,
+        remaining: list[float],
+    ) -> WindowOutcome:
+        """Simulate the window's cascades and settle payments."""
+        inst = self.instance
+        h = inst.h
+        seeds_per_ad: list[list[int]] = [[] for _ in range(h)]
+        engagements = [0] * h
+        revenue = [0.0] * h
+        incentives_paid = [0.0] * h
+        for sub_index, seeds in enumerate(sub_seed_sets):
+            seeds_per_ad[sub_to_original[sub_index]] = list(seeds)
+        for i in range(h):
+            seeds = seeds_per_ad[i]
+            if not seeds:
+                continue
+            active = simulate_cascade(inst.graph, inst.ad_probs[i], seeds, self.rng)
+            # Frozen users never re-engage.
+            active &= ~frozen
+            count = int(active.sum())
+            paid_incentives = inst.seeding_cost(i, seeds)
+            charge = inst.cpe(i) * count + paid_incentives
+            # Settlement never exceeds the remaining pool: engagements
+            # beyond budget are served free (the host absorbs them), the
+            # realistic treatment of a hard cap.
+            charge = min(charge, remaining[i])
+            engaged_revenue = max(charge - paid_incentives, 0.0)
+            remaining[i] -= charge
+            engagements[i] = count
+            revenue[i] = engaged_revenue
+            incentives_paid[i] = min(paid_incentives, charge)
+            frozen[active] = True
+            for u in seeds:
+                frozen[u] = True
+        return WindowOutcome(
+            window=window,
+            seeds_per_ad=seeds_per_ad,
+            realized_engagements=engagements,
+            realized_revenue=revenue,
+            incentives_paid=incentives_paid,
+            remaining_budgets=list(remaining),
+        )
+
+
+def run_adaptive_campaign(
+    instance: RMInstance,
+    n_windows: int = 3,
+    planner_kwargs: dict | None = None,
+    budget_split: str = "even",
+    seed=None,
+) -> CampaignResult:
+    """Convenience wrapper around :class:`AdaptiveCampaign`."""
+    campaign = AdaptiveCampaign(
+        instance,
+        n_windows=n_windows,
+        planner_kwargs=planner_kwargs,
+        budget_split=budget_split,
+        seed=seed,
+    )
+    return campaign.run()

@@ -1,0 +1,118 @@
+"""Allocations: the decision variable of the RM problem.
+
+An allocation ``S⃗ = (S_1, …, S_h)`` assigns pairwise-disjoint seed sets
+to the ``h`` advertisers.  :class:`Allocation` enforces disjointness on
+insertion (the partition-matroid constraint is thereby an invariant, not
+an afterthought) and remembers insertion order, which the greedy-trace
+tests rely on.  :class:`AllocationResult` attaches the estimated
+revenues/payments and run diagnostics that the experiment harness
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+
+
+class Allocation:
+    """Pairwise-disjoint seed sets for ``h`` advertisers."""
+
+    __slots__ = ("h", "_seed_lists", "_owner")
+
+    def __init__(self, h: int) -> None:
+        if h < 1:
+            raise AllocationError(f"h must be >= 1, got {h}")
+        self.h = int(h)
+        self._seed_lists: list[list[int]] = [[] for _ in range(h)]
+        self._owner: dict[int, int] = {}
+
+    def add(self, node: int, ad: int) -> None:
+        """Assign *node* as a seed of *ad*; rejects double assignment."""
+        node = int(node)
+        if not 0 <= ad < self.h:
+            raise AllocationError(f"ad index {ad} out of range [0, {self.h})")
+        if node in self._owner:
+            raise AllocationError(
+                f"node {node} already seeds ad {self._owner[node]}; "
+                "seed sets must be pairwise disjoint"
+            )
+        self._owner[node] = int(ad)
+        self._seed_lists[ad].append(node)
+
+    def is_assigned(self, node: int) -> bool:
+        """Whether *node* already seeds some ad."""
+        return int(node) in self._owner
+
+    def owner_of(self, node: int) -> int | None:
+        """The ad *node* seeds, or ``None``."""
+        return self._owner.get(int(node))
+
+    def seeds(self, ad: int) -> list[int]:
+        """Seed list of *ad* in insertion order."""
+        if not 0 <= ad < self.h:
+            raise AllocationError(f"ad index {ad} out of range [0, {self.h})")
+        return list(self._seed_lists[ad])
+
+    def seed_sets(self) -> list[list[int]]:
+        """All seed lists, indexed by ad."""
+        return [list(s) for s in self._seed_lists]
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """The allocation as ``(node, ad)`` ground-set pairs."""
+        return [(node, ad) for ad, seeds in enumerate(self._seed_lists) for node in seeds]
+
+    @property
+    def total_seeds(self) -> int:
+        """Total number of assigned (node, ad) pairs."""
+        return len(self._owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(str(len(s)) for s in self._seed_lists)
+        return f"Allocation(h={self.h}, sizes=[{sizes}])"
+
+
+@dataclass
+class AllocationResult:
+    """An allocation plus the estimates and diagnostics behind it.
+
+    ``revenue_per_ad[i]`` is ``π̂_i(S_i)`` under the estimator the
+    algorithm ran with; ``payment_per_ad[i] = π̂_i + c_i(S_i)`` is the
+    advertiser's estimated total payment ``ρ̂_i``.
+    """
+
+    allocation: Allocation
+    revenue_per_ad: list[float]
+    seeding_cost_per_ad: list[float]
+    algorithm: str = ""
+    runtime_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def payment_per_ad(self) -> list[float]:
+        """``ρ̂_i = π̂_i + c_i(S_i)`` per advertiser."""
+        return [r + c for r, c in zip(self.revenue_per_ad, self.seeding_cost_per_ad)]
+
+    @property
+    def total_revenue(self) -> float:
+        """Host revenue ``π̂(S⃗) = Σ_i π̂_i(S_i)``."""
+        return float(sum(self.revenue_per_ad))
+
+    @property
+    def total_seeding_cost(self) -> float:
+        """Total incentives paid out to seeds, ``Σ_i c_i(S_i)``."""
+        return float(sum(self.seeding_cost_per_ad))
+
+    @property
+    def total_seeds(self) -> int:
+        """Total number of seed (node, ad) assignments."""
+        return self.allocation.total_seeds
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.algorithm or 'result'}: revenue={self.total_revenue:.1f} "
+            f"seed_cost={self.total_seeding_cost:.1f} seeds={self.total_seeds} "
+            f"time={self.runtime_seconds:.2f}s"
+        )

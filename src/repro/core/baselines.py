@@ -1,0 +1,76 @@
+"""PageRank-based baselines (Section 5).
+
+Both baselines replace Algorithm 2's line 7 with the *ad-specific
+PageRank ordering* — the random surfer walks arcs in the influence
+direction with transition mass proportional to ``p^i_{u,v}`` — and
+differ in line 9:
+
+* **PageRank-GR** still picks, among the per-ad candidates, the
+  (node, advertiser) pair of maximum marginal revenue (greedy);
+* **PageRank-RR** assigns candidates to advertisers in round-robin
+  order.
+
+Budget feasibility and the revenue estimation machinery (RR collections,
+θ schedules) are identical to TI-CARM/TI-CSRM, so differences in outcome
+isolate the effect of the candidate rule — the comparison the paper's
+quality experiments make.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import AllocationResult
+from repro.core.instance import RMInstance
+from repro.core.ti_engine import TIEngine
+from repro.rrset.tim import DEFAULT_THETA_CAP
+
+
+def pagerank_gr(
+    instance: RMInstance,
+    *,
+    eps: float = 0.1,
+    ell: float = 1.0,
+    theta_cap: int | None = DEFAULT_THETA_CAP,
+    opt_lower="kpt",
+    kpt_max_samples: int = 5_000,
+    seed=None,
+) -> AllocationResult:
+    """PageRank candidates, greedy (max marginal revenue) assignment."""
+    engine = TIEngine(
+        instance,
+        candidate_rule="pagerank",
+        selector="revenue",
+        eps=eps,
+        ell=ell,
+        theta_cap=theta_cap,
+        opt_lower=opt_lower,
+        kpt_max_samples=kpt_max_samples,
+        seed=seed,
+        algorithm_name="PageRank-GR",
+    )
+    return engine.run()
+
+
+def pagerank_rr(
+    instance: RMInstance,
+    *,
+    eps: float = 0.1,
+    ell: float = 1.0,
+    theta_cap: int | None = DEFAULT_THETA_CAP,
+    opt_lower="kpt",
+    kpt_max_samples: int = 5_000,
+    seed=None,
+) -> AllocationResult:
+    """PageRank candidates, round-robin assignment over advertisers."""
+    engine = TIEngine(
+        instance,
+        candidate_rule="pagerank",
+        selector="round_robin",
+        eps=eps,
+        ell=ell,
+        theta_cap=theta_cap,
+        opt_lower=opt_lower,
+        kpt_max_samples=kpt_max_samples,
+        seed=seed,
+        algorithm_name="PageRank-RR",
+    )
+    return engine.run()

@@ -1,0 +1,104 @@
+"""Curvature of the RM problem's revenue and payment functions.
+
+Observation 1 expresses the total curvature of the host's revenue over
+the pair ground set ``E = V × [h]`` as
+
+    ``κ_π = 1 − min_{(u,i)} π_i(u | V∖{u}) / π_i({u})``
+
+and Theorem 3 consumes the payment curvatures ``κ_{ρ_i}`` plus the
+extreme singleton payments ``ρ_max, ρ_min``.  This module adapts oracle-
+backed spread/revenue/payment functions to the generic
+:class:`~repro.submodular.functions.SetFunction` interface and computes
+those quantities (exactly — so intended for reference-scale instances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import RMInstance
+from repro.core.oracles import SpreadOracle
+from repro.submodular.functions import SetFunction
+
+
+class SpreadSetFunction(SetFunction):
+    """``σ_i`` on the node ground set, via an oracle."""
+
+    def __init__(self, oracle: SpreadOracle, ad: int) -> None:
+        super().__init__(range(oracle.instance.n))
+        self.oracle = oracle
+        self.ad = int(ad)
+
+    def evaluate(self, subset: frozenset) -> float:
+        return self.oracle.spread(self.ad, subset)
+
+
+class RevenueSetFunction(SetFunction):
+    """``π_i = cpe(i)·σ_i`` on the node ground set."""
+
+    def __init__(self, oracle: SpreadOracle, ad: int) -> None:
+        super().__init__(range(oracle.instance.n))
+        self.oracle = oracle
+        self.ad = int(ad)
+
+    def evaluate(self, subset: frozenset) -> float:
+        return self.oracle.revenue(self.ad, subset)
+
+
+class PaymentSetFunction(SetFunction):
+    """``ρ_i = π_i + c_i`` on the node ground set."""
+
+    def __init__(self, oracle: SpreadOracle, ad: int) -> None:
+        super().__init__(range(oracle.instance.n))
+        self.oracle = oracle
+        self.ad = int(ad)
+
+    def evaluate(self, subset: frozenset) -> float:
+        return self.oracle.payment(self.ad, subset)
+
+
+def total_revenue_curvature(instance: RMInstance, oracle: SpreadOracle) -> float:
+    """``κ_π`` per Observation 1 (min over all (node, ad) pairs)."""
+    n = instance.n
+    all_nodes = frozenset(range(n))
+    worst = 1.0
+    for ad in range(instance.h):
+        for u in range(n):
+            singleton = oracle.revenue(ad, {u})
+            if singleton <= 1e-12:
+                continue
+            rest = all_nodes - {u}
+            marginal = oracle.revenue(ad, all_nodes) - oracle.revenue(ad, rest)
+            worst = min(worst, max(marginal, 0.0) / singleton)
+    return float(np.clip(1.0 - worst, 0.0, 1.0))
+
+
+def payment_curvature(instance: RMInstance, oracle: SpreadOracle, ad: int) -> float:
+    """``κ_{ρ_i}`` — total curvature of advertiser *ad*'s payment."""
+    n = instance.n
+    all_nodes = frozenset(range(n))
+    worst = 1.0
+    for u in range(n):
+        singleton = oracle.payment(ad, {u})
+        if singleton <= 1e-12:
+            continue
+        marginal = oracle.payment(ad, all_nodes) - oracle.payment(ad, all_nodes - {u})
+        worst = min(worst, max(marginal, 0.0) / singleton)
+    return float(np.clip(1.0 - worst, 0.0, 1.0))
+
+
+def max_payment_curvature(instance: RMInstance, oracle: SpreadOracle) -> float:
+    """``max_i κ_{ρ_i}`` as consumed by Theorem 3."""
+    return max(payment_curvature(instance, oracle, ad) for ad in range(instance.h))
+
+
+def singleton_payment_extremes(
+    instance: RMInstance, oracle: SpreadOracle
+) -> tuple[float, float]:
+    """``(ρ_max, ρ_min)``: extreme singleton payments over ``V × [h]``."""
+    payments = [
+        oracle.payment(ad, {u})
+        for ad in range(instance.h)
+        for u in range(instance.n)
+    ]
+    return float(max(payments)), float(min(payments))

@@ -1,0 +1,155 @@
+"""Reference CA-GREEDY / CS-GREEDY (Algorithm 1 and its CS variant).
+
+These are the oracle-based algorithms whose guarantees Theorems 2 and 3
+establish.  Each iteration scans all live ``(node, ad)`` pairs, picks the
+argmax of the selection rule, and either commits it (if the knapsack and
+matroid constraints stay satisfied) or deletes it from the ground set —
+exactly lines 3–13 of Algorithm 1.  Pairs whose node is already assigned
+are pruned eagerly; this is output-equivalent to the pseudocode (such a
+pair would be selected once, fail the matroid test, and be deleted
+without any other state change) and avoids wasted oracle calls.
+
+These implementations evaluate the oracle ``O(n·h)`` times per iteration
+and are meant for reference/validation scale; use TI-CARM / TI-CSRM for
+real graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.core.allocation import Allocation, AllocationResult
+from repro.core.instance import RMInstance
+from repro.core.oracles import SpreadOracle
+from repro.errors import AllocationError
+
+
+def _tie_key(instance: RMInstance, tie_break: str, node: int, ad: int) -> tuple:
+    """Secondary sort key; larger wins among equal primary values."""
+    if tie_break == "index":
+        # Prefer smaller (node, ad): negate so larger-key-wins keeps order.
+        return (-node, -ad)
+    if tie_break == "cost":
+        # Adversarial for CA-GREEDY: prefer the costliest seed on ties
+        # (exhibits the tightness instance of Theorem 2).
+        return (instance.incentive(ad, node), -node, -ad)
+    raise AllocationError(f"unknown tie_break {tie_break!r}; use 'index' or 'cost'")
+
+
+def _greedy(
+    instance: RMInstance,
+    oracle: SpreadOracle,
+    cost_sensitive: bool,
+    tie_break: str,
+) -> AllocationResult:
+    start = time.perf_counter()
+    h, n = instance.h, instance.n
+    allocation = Allocation(h)
+    seeds: list[list[int]] = [[] for _ in range(h)]
+    # Live ground set of (node, ad) pairs.
+    live: set[tuple[int, int]] = {
+        (u, i) for u in range(n) for i in range(h)
+    }
+    rounds = 0
+    while live:
+        rounds += 1
+        best_pair = None
+        best_key: tuple | None = None
+        for (u, i) in live:
+            gain = oracle.marginal_revenue(i, u, seeds[i])
+            if cost_sensitive:
+                pay = oracle.marginal_payment(i, u, seeds[i])
+                primary = gain / pay if pay > 0 else (float("inf") if gain > 0 else 0.0)
+            else:
+                primary = gain
+            key = (primary,) + _tie_key(instance, tie_break, u, i)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_pair = (u, i)
+        assert best_pair is not None
+        u, i = best_pair
+        if oracle.payment(i, seeds[i] + [u]) <= instance.budget(i) + 1e-9:
+            allocation.add(u, i)
+            seeds[i].append(u)
+            live.discard(best_pair)
+            # Matroid pruning: u can seed no other ad.
+            live -= {(u, j) for j in range(h)}
+        else:
+            live.discard(best_pair)
+
+    revenue = [oracle.revenue(i, seeds[i]) for i in range(h)]
+    seed_cost = [instance.seeding_cost(i, seeds[i]) for i in range(h)]
+    return AllocationResult(
+        allocation=allocation,
+        revenue_per_ad=revenue,
+        seeding_cost_per_ad=seed_cost,
+        algorithm="CS-GREEDY" if cost_sensitive else "CA-GREEDY",
+        runtime_seconds=time.perf_counter() - start,
+        extras={"rounds": rounds, "tie_break": tie_break},
+    )
+
+
+def ca_greedy(
+    instance: RMInstance,
+    oracle: SpreadOracle,
+    tie_break: str = "index",
+) -> AllocationResult:
+    """Cost-agnostic greedy: argmax of marginal revenue ``π_i(u | S_i)``.
+
+    Guarantee (Theorem 2): ``(1/κ_π)·(1 − ((R−κ_π)/R)^r)`` of the optimum,
+    where ``r, R`` are the ranks of the feasibility system and ``κ_π`` the
+    total curvature of the revenue.
+    """
+    return _greedy(instance, oracle, cost_sensitive=False, tie_break=tie_break)
+
+
+def cs_greedy(
+    instance: RMInstance,
+    oracle: SpreadOracle,
+    tie_break: str = "index",
+) -> AllocationResult:
+    """Cost-sensitive greedy: argmax of ``π_i(u|S_i) / ρ_i(u|S_i)``.
+
+    Guarantee (Theorem 3):
+    ``1 − R·ρmax / (R·ρmax + (1 − max_i κ_ρi)·ρmin)`` of the optimum.
+    """
+    return _greedy(instance, oracle, cost_sensitive=True, tie_break=tie_break)
+
+
+def exhaustive_optimum(
+    instance: RMInstance,
+    oracle: SpreadOracle,
+    max_assignments: int = 250_000,
+) -> tuple[list[list[int]], float]:
+    """Brute-force optimal allocation (tiny instances only).
+
+    Enumerates all ``(h+1)^n`` node→{ad or none} assignments, filters by
+    the knapsack constraints under *oracle*, and returns the best feasible
+    allocation with its revenue.  The matroid constraint holds by
+    construction.
+    """
+    h, n = instance.h, instance.n
+    total = (h + 1) ** n
+    if total > max_assignments:
+        raise AllocationError(
+            f"{total} assignments exceed the exhaustive limit {max_assignments}"
+        )
+    best_sets: list[list[int]] = [[] for _ in range(h)]
+    best_value = 0.0
+    for assignment in itertools.product(range(h + 1), repeat=n):
+        seed_sets: list[list[int]] = [[] for _ in range(h)]
+        for node, slot in enumerate(assignment):
+            if slot > 0:
+                seed_sets[slot - 1].append(node)
+        feasible = all(
+            oracle.payment(i, seed_sets[i]) <= instance.budget(i) + 1e-9
+            for i in range(h)
+        )
+        if not feasible:
+            continue
+        value = oracle.total_revenue(seed_sets)
+        if value > best_value + 1e-12:
+            best_value = value
+            best_sets = seed_sets
+    return best_sets, best_value

@@ -1,0 +1,125 @@
+"""Matroids and independence systems (Definitions 1–3, Lemmas 1–2).
+
+The RM problem's feasible family is the intersection of a partition
+matroid (each node seeds at most one ad — Lemma 1) with ``h`` submodular
+knapsacks (``ρ_i(S_i) ≤ B_i``), which together form an independence
+system (Lemma 2) but not a matroid; the gap between its lower rank ``r``
+and upper rank ``R`` drives Theorem 2's guarantee.  This module gives the
+abstract objects plus brute-force rank computation for the small
+instances where the bounds are evaluated exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+
+class PartitionMatroid:
+    """Partition matroid ``|X ∩ E_g| ≤ d_g`` over an integer ground set.
+
+    Parameters
+    ----------
+    groups:
+        ``groups[e]`` is the partition block of element *e*.
+    capacities:
+        Per-block capacities ``d_g``.  The RM disjointness constraint is
+        the special case where elements are ``(node, ad)`` pairs, blocks
+        are nodes, and every capacity is 1.
+    """
+
+    def __init__(self, groups: Sequence[int], capacities: Sequence[int]) -> None:
+        self.groups = np.asarray(groups, dtype=np.int64)
+        self.capacities = np.asarray(capacities, dtype=np.int64)
+        if self.groups.ndim != 1:
+            raise AllocationError("groups must be a 1-D vector")
+        if self.groups.size and (
+            self.groups.min() < 0 or self.groups.max() >= self.capacities.size
+        ):
+            raise AllocationError("group ids must index into capacities")
+        if np.any(self.capacities < 0):
+            raise AllocationError("capacities must be non-negative")
+
+    @property
+    def ground_size(self) -> int:
+        """Number of elements in the ground set."""
+        return int(self.groups.size)
+
+    def is_independent(self, subset: Iterable[int]) -> bool:
+        """Membership test for the matroid's independent family."""
+        used = np.zeros(self.capacities.size, dtype=np.int64)
+        for e in subset:
+            e = int(e)
+            if not 0 <= e < self.groups.size:
+                raise AllocationError(f"element {e} outside the ground set")
+            used[self.groups[e]] += 1
+        return bool(np.all(used <= self.capacities))
+
+    def rank(self) -> int:
+        """Size of every maximal independent set: ``Σ_g min(d_g, |E_g|)``."""
+        block_sizes = np.bincount(self.groups, minlength=self.capacities.size)
+        return int(np.minimum(block_sizes, self.capacities).sum())
+
+
+def rm_partition_matroid(n_nodes: int, n_ads: int) -> PartitionMatroid:
+    """Lemma 1's matroid: ground set ``V × [h]`` (pair id = node·h + ad)."""
+    groups = np.repeat(np.arange(n_nodes, dtype=np.int64), n_ads)
+    return PartitionMatroid(groups, np.ones(n_nodes, dtype=np.int64))
+
+
+def allocation_pairs_independent(pairs: Iterable[tuple[int, int]]) -> bool:
+    """Disjointness check on ``(node, ad)`` pairs (Lemma 1, directly)."""
+    seen: set[int] = set()
+    for node, _ in pairs:
+        if node in seen:
+            return False
+        seen.add(node)
+    return True
+
+
+def maximal_independent_sets(
+    ground: Sequence,
+    is_independent: Callable[[frozenset], bool],
+    max_ground: int = 16,
+) -> list[frozenset]:
+    """All maximal independent sets, by exhaustive enumeration.
+
+    Only for the tiny instances used to evaluate Theorem 2's instance-
+    dependent bound; raises when the ground set is too large.
+    """
+    elements = list(ground)
+    if len(elements) > max_ground:
+        raise AllocationError(
+            f"{len(elements)} elements exceed the enumeration limit {max_ground}"
+        )
+    independents: list[frozenset] = []
+    for r in range(len(elements) + 1):
+        for combo in itertools.combinations(elements, r):
+            subset = frozenset(combo)
+            if is_independent(subset):
+                independents.append(subset)
+    maximal: list[frozenset] = []
+    for candidate in independents:
+        extendable = any(
+            candidate < other for other in independents if len(other) == len(candidate) + 1
+        )
+        if not extendable:
+            maximal.append(candidate)
+    return maximal
+
+
+def lower_upper_rank(
+    ground: Sequence,
+    is_independent: Callable[[frozenset], bool],
+    max_ground: int = 16,
+) -> tuple[int, int]:
+    """Lower and upper rank ``(r, R)`` of an independence system (Def. 5)."""
+    maximal = maximal_independent_sets(ground, is_independent, max_ground)
+    if not maximal:
+        return 0, 0
+    sizes = [len(s) for s in maximal]
+    return min(sizes), max(sizes)

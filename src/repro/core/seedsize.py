@@ -1,0 +1,62 @@
+"""Latent seed-set size estimation (Eq. 10).
+
+TIM's sample size ``L(s, ε)`` needs the seed count ``s`` up front, but in
+the RM problem the number of seeds an advertiser ends up with is dictated
+by its budget.  The paper's fix: start at ``s̃ = 1`` and, whenever the
+current estimate is used up, grow it by a *conservative* count of how
+many more seeds the leftover budget can certainly accommodate:
+
+    ``s̃ ← s̃ + ⌊(B_i − ρ_i(S_i)) / (c^max_i + cpe(i)·n·F^max_{R_i})⌋``
+
+The denominator is the largest possible payment of one more seed (the
+costliest incentive plus the largest achievable marginal revenue), so the
+estimate never overshoots — by submodularity future marginal gains only
+shrink.  A zero increment means the remaining budget cannot be certified
+to fit another seed; the engine then stops growing that ad's sample.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+
+
+def next_seed_size(
+    current: int,
+    budget: float,
+    payment_so_far: float,
+    max_incentive: float,
+    cpe: float,
+    n_nodes: int,
+    max_residual_fraction: float,
+) -> int:
+    """Apply Eq. 10 once; the result is clamped to ``[current, n_nodes]``.
+
+    Parameters
+    ----------
+    current:
+        Current estimate ``s̃_i`` (equals ``|S_i|`` when invoked).
+    budget, payment_so_far:
+        ``B_i`` and the estimated payment ``ρ̂_i(S_i)``.
+    max_incentive:
+        ``c^max_i = max_v c_i(v)``.
+    cpe, n_nodes:
+        ``cpe(i)`` and ``n``; their product with *max_residual_fraction*
+        bounds any future seed's marginal revenue.
+    max_residual_fraction:
+        ``F^max_{R_i} = max_{u ∉ S_i} F_{R_i}(u)`` over the residual
+        collection.
+    """
+    if current < 0:
+        raise EstimationError(f"current seed size must be >= 0, got {current}")
+    remaining = budget - payment_so_far
+    if remaining <= 0:
+        return current
+    per_seed_ceiling = max_incentive + cpe * n_nodes * max_residual_fraction
+    if per_seed_ceiling <= 0.0:
+        # Free seeds with zero estimated marginal revenue: any number fits
+        # the budget, but none can increase revenue — cap at n.
+        return n_nodes
+    increment = math.floor(remaining / per_seed_ceiling)
+    return min(current + max(increment, 0), n_nodes)

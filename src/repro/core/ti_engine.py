@@ -1,0 +1,438 @@
+"""The scalable RM engine (Algorithm 2) with pluggable selection rules.
+
+TI-CARM, TI-CSRM and the two PageRank baselines of Section 5 differ only
+in two lines of Algorithm 2: how the per-ad candidate node is chosen
+(line 7) and how the winning (node, ad) pair is selected among the
+candidates (line 9).  :class:`TIEngine` implements the shared skeleton —
+per-ad RR collections, TIM sample sizes, the latent seed-size estimation
+of Eq. 10, coverage-residual maintenance, ``UpdateEstimates`` — and takes
+the two rules as parameters:
+
+=================  ==================  =====================
+algorithm          candidate_rule       selector
+=================  ==================  =====================
+TI-CARM            ``"ca"`` (Alg. 4)   ``"revenue"``
+TI-CSRM            ``"cs"`` (Alg. 5)   ``"rate"``
+PageRank-GR        ``"pagerank"``      ``"revenue"``
+PageRank-RR        ``"pagerank"``      ``"round_robin"``
+=================  ==================  =====================
+
+Estimates: with residual coverage counts ``cov_j(v)`` the marginal
+revenue is ``π̂_j(v|S_j) = cpe(j)·n·cov_j(v)/θ_j``; the running revenue is
+``π̂_j(S_j) = cpe(j)·n·covered_j/θ_j``; payments add the modular seeding
+cost.  When ``θ_j`` grows (Eq. 10 fired) new sets already covered by
+``S_j`` are absorbed into ``covered_j`` — Algorithm 3's refresh.
+
+Documented deviations from the pseudocode (DESIGN.md §4):
+
+* ``OPT_s`` may be lower-bounded by a precomputed max singleton spread
+  instead of the KPT routine (both are valid lower bounds; the former is
+  free when incentives already priced every singleton);
+* for the ``ca``/``cs`` rules, an ad whose best candidate has *zero*
+  residual coverage is retired — no node could increase its estimated
+  revenue, and only the PageRank baselines are meant to pad zero-gain
+  seeds;
+* a hard ``theta_cap`` bounds sample sizes (pure-Python tractability);
+* ``share_samples=True`` enables the memory optimization the paper
+  leaves open (Section 7, question i): ads with identical probability
+  vectors draw their RR sets from one shared store and keep only
+  private residual state — storage drops from ``O(h·θ·|R|)`` to
+  ``O(θ·|R| + h·(θ + n))`` in fully competitive marketplaces, with
+  the same estimator semantics (the shared sets are i.i.d. from each
+  sharing ad's RR distribution).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro._rng import as_generator, spawn
+from repro.errors import AllocationError
+from repro.graph.pagerank import pagerank_order
+from repro.rrset.collection import RRCollection, SharedRRCollection, SharedRRStore
+from repro.rrset.sampler import RRSampler
+from repro.rrset.tim import DEFAULT_THETA_CAP, KPTEstimator, sample_size
+from repro.core.allocation import Allocation, AllocationResult
+from repro.core.instance import RMInstance
+from repro.core.seedsize import next_seed_size
+
+CANDIDATE_RULES = ("ca", "cs", "pagerank")
+SELECTORS = ("revenue", "rate", "round_robin")
+_BUDGET_SLACK = 1e-9
+
+
+class _AdState:
+    """Per-advertiser mutable state of one engine run."""
+
+    __slots__ = (
+        "sampler",
+        "rng",
+        "kpt",
+        "collection",
+        "store",
+        "s_est",
+        "theta",
+        "seeds",
+        "seed_cost",
+        "done",
+        "pr_order",
+        "pr_ptr",
+        "opt_lower",
+    )
+
+    def __init__(self) -> None:
+        self.sampler: RRSampler | None = None
+        self.rng = None
+        self.kpt: KPTEstimator | None = None
+        self.collection = None  # RRCollection or SharedRRCollection
+        self.store: SharedRRStore | None = None
+        self.s_est = 1
+        self.theta = 0
+        self.seeds: list[int] = []
+        self.seed_cost = 0.0
+        self.done = False
+        self.pr_order: np.ndarray | None = None
+        self.pr_ptr = 0
+        self.opt_lower = 1.0
+
+
+class TIEngine:
+    """One configured run of the scalable greedy skeleton."""
+
+    def __init__(
+        self,
+        instance: RMInstance,
+        *,
+        candidate_rule: str = "cs",
+        selector: str = "rate",
+        eps: float = 0.1,
+        ell: float = 1.0,
+        window: int | None = None,
+        theta_cap: int | None = DEFAULT_THETA_CAP,
+        opt_lower: str | float | list[float] = "kpt",
+        kpt_max_samples: int = 5_000,
+        share_samples: bool = False,
+        blocked=None,
+        seed=None,
+        algorithm_name: str | None = None,
+    ) -> None:
+        if candidate_rule not in CANDIDATE_RULES:
+            raise AllocationError(
+                f"unknown candidate_rule {candidate_rule!r}; options: {CANDIDATE_RULES}"
+            )
+        if selector not in SELECTORS:
+            raise AllocationError(f"unknown selector {selector!r}; options: {SELECTORS}")
+        if eps <= 0:
+            raise AllocationError(f"eps must be positive, got {eps}")
+        if window is not None and window < 1:
+            raise AllocationError(f"window must be >= 1, got {window}")
+        self.instance = instance
+        self.candidate_rule = candidate_rule
+        self.selector = selector
+        self.eps = float(eps)
+        self.ell = float(ell)
+        self.window = window
+        self.theta_cap = theta_cap
+        self.opt_lower_spec = opt_lower
+        self.kpt_max_samples = int(kpt_max_samples)
+        self.share_samples = bool(share_samples)
+        self.blocked = None if blocked is None else np.asarray(blocked, dtype=bool)
+        self.rng = as_generator(seed)
+        self.algorithm_name = algorithm_name or f"TI[{candidate_rule}/{selector}]"
+        self._states: list[_AdState] = []
+        self._assigned: np.ndarray | None = None
+        self._rr_cursor = 0  # round-robin pointer
+
+    # ------------------------------------------------------------------
+    # Initialization (lines 1–4 of Algorithm 2)
+    # ------------------------------------------------------------------
+    def _opt_lower_for(self, state: _AdState, ad: int, s: int) -> float:
+        spec = self.opt_lower_spec
+        if isinstance(spec, str):
+            if spec != "kpt":
+                raise AllocationError(f"unknown opt_lower spec {spec!r}")
+            assert state.kpt is not None
+            return max(state.kpt.estimate(s), 1.0)
+        if isinstance(spec, (list, tuple, np.ndarray)):
+            return max(float(spec[ad]), 1.0)
+        return max(float(spec), 1.0)
+
+    def _prob_group_key(self, ad: int):
+        """Ads share a store iff their probability vectors are identical."""
+        probs = self.instance.ad_probs[ad]
+        return (id(probs), probs.shape[0]) if not self.share_samples else hash(
+            probs.tobytes()
+        )
+
+    def _init_states(self) -> None:
+        inst = self.instance
+        n, h = inst.n, inst.h
+        if self.blocked is not None and self.blocked.shape != (n,):
+            raise AllocationError(
+                f"blocked mask must have shape ({n},), got {self.blocked.shape}"
+            )
+        # Blocked nodes (e.g. users frozen by earlier campaign windows)
+        # are treated as pre-assigned: never candidates for any ad.
+        self._assigned = (
+            self.blocked.copy() if self.blocked is not None else np.zeros(n, dtype=bool)
+        )
+        rngs = spawn(self.rng, h)
+        self._states = []
+        # Shared-sampling groups: probability-identical ads share one
+        # sampler, RNG stream, KPT estimator and RR store.
+        groups: dict = {}
+        for ad in range(h):
+            state = _AdState()
+            state.rng = rngs[ad]
+            if self.share_samples:
+                key = self._prob_group_key(ad)
+                if key not in groups:
+                    sampler = RRSampler(inst.graph, inst.ad_probs[ad])
+                    kpt = (
+                        KPTEstimator(
+                            sampler,
+                            ell=self.ell,
+                            rng=state.rng,
+                            max_samples=self.kpt_max_samples,
+                        )
+                        if self.opt_lower_spec == "kpt"
+                        else None
+                    )
+                    groups[key] = (sampler, SharedRRStore(n), state.rng, kpt)
+                sampler, store, group_rng, kpt = groups[key]
+                state.sampler = sampler
+                state.store = store
+                state.rng = group_rng
+                state.kpt = kpt
+                state.collection = SharedRRCollection(store)
+            else:
+                state.sampler = RRSampler(inst.graph, inst.ad_probs[ad])
+                if self.opt_lower_spec == "kpt":
+                    state.kpt = KPTEstimator(
+                        state.sampler,
+                        ell=self.ell,
+                        rng=state.rng,
+                        max_samples=self.kpt_max_samples,
+                    )
+                state.collection = RRCollection(n)
+            state.s_est = 1
+            state.opt_lower = self._opt_lower_for(state, ad, 1)
+            state.theta = sample_size(
+                n, 1, self.eps, self.ell, state.opt_lower, self.theta_cap
+            )
+            if self.share_samples:
+                if state.store.size < state.theta:
+                    state.store.extend(
+                        state.sampler.sample_batch(
+                            state.theta - state.store.size, state.rng
+                        )
+                    )
+                state.collection.adopt(state.theta)
+            else:
+                state.collection.add_sets(
+                    state.sampler.sample_batch(state.theta, state.rng)
+                )
+            if self.candidate_rule == "pagerank":
+                state.pr_order = pagerank_order(inst.graph, weights=inst.ad_probs[ad])
+            self._states.append(state)
+
+    # ------------------------------------------------------------------
+    # Candidate rules (line 7 / Algorithms 4 and 5 / PageRank ordering)
+    # ------------------------------------------------------------------
+    def _candidate(self, ad: int) -> int | None:
+        state = self._states[ad]
+        allowed = ~self._assigned
+        if self.candidate_rule == "ca":
+            node = state.collection.best_node(allowed)
+            if node is not None and state.collection.residual_count(node) == 0:
+                # No unassigned node covers any uncovered set: this ad's
+                # estimated revenue can no longer grow.
+                state.done = True
+                return None
+            return node
+        if self.candidate_rule == "cs":
+            node = state.collection.best_node_by_ratio(
+                self.instance.incentives[ad], allowed, self.window
+            )
+            if node is not None and state.collection.residual_count(node) == 0:
+                # Max ratio can only be achieved at zero coverage if every
+                # allowed node has zero coverage — retire the ad.
+                best_cov = state.collection.best_node(allowed)
+                if best_cov is None or state.collection.residual_count(best_cov) == 0:
+                    state.done = True
+                    return None
+                node = best_cov
+            return node
+        # pagerank: next unassigned node in the ad-specific ranking.
+        order = state.pr_order
+        assert order is not None
+        while state.pr_ptr < order.size and self._assigned[order[state.pr_ptr]]:
+            state.pr_ptr += 1
+        if state.pr_ptr >= order.size:
+            return None
+        return int(order[state.pr_ptr])
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+    def _revenue(self, ad: int) -> float:
+        state = self._states[ad]
+        return (
+            self.instance.cpe(ad)
+            * self.instance.n
+            * state.collection.covered_total
+            / state.theta
+        )
+
+    def _payment(self, ad: int) -> float:
+        return self._revenue(ad) + self._states[ad].seed_cost
+
+    def _marginal_revenue(self, ad: int, node: int) -> float:
+        state = self._states[ad]
+        return (
+            self.instance.cpe(ad)
+            * self.instance.n
+            * state.collection.residual_count(node)
+            / state.theta
+        )
+
+    # ------------------------------------------------------------------
+    # Seed-size growth (lines 17–22 / Eq. 10 / Algorithm 3)
+    # ------------------------------------------------------------------
+    def _grow(self, ad: int) -> None:
+        state = self._states[ad]
+        inst = self.instance
+        f_max = state.collection.max_residual_fraction(~self._assigned)
+        s_new = next_seed_size(
+            state.s_est,
+            inst.budget(ad),
+            self._payment(ad),
+            inst.max_incentive(ad),
+            inst.cpe(ad),
+            inst.n,
+            f_max,
+        )
+        if s_new <= state.s_est:
+            state.done = True
+            return
+        state.s_est = s_new
+        state.opt_lower = self._opt_lower_for(state, ad, s_new)
+        theta_new = sample_size(
+            inst.n, s_new, self.eps, self.ell, state.opt_lower, self.theta_cap
+        )
+        if theta_new > state.theta:
+            # UpdateEstimates: new sets hit by existing seeds are absorbed
+            # straight into the covered count.
+            if self.share_samples:
+                if state.store.size < theta_new:
+                    state.store.extend(
+                        state.sampler.sample_batch(
+                            theta_new - state.store.size, state.rng
+                        )
+                    )
+                state.collection.adopt(theta_new, seeds=state.seeds)
+            else:
+                extra = state.sampler.sample_batch(
+                    theta_new - state.theta, state.rng
+                )
+                state.collection.add_sets(extra, seeds=state.seeds)
+            state.theta = theta_new
+
+    # ------------------------------------------------------------------
+    # Main loop (lines 5–22 of Algorithm 2)
+    # ------------------------------------------------------------------
+    def run(self) -> AllocationResult:
+        """Execute the configured algorithm; returns the allocation result."""
+        start = time.perf_counter()
+        inst = self.instance
+        h = inst.h
+        self._init_states()
+        allocation = Allocation(h)
+        rounds = 0
+
+        while True:
+            rounds += 1
+            candidates: list[tuple[int, int, float, float]] = []
+            for ad in range(h):
+                state = self._states[ad]
+                if state.done:
+                    continue
+                node = self._candidate(ad)
+                if node is None:
+                    continue
+                marg_rev = self._marginal_revenue(ad, node)
+                marg_pay = marg_rev + inst.incentive(ad, node)
+                if self._payment(ad) + marg_pay > inst.budget(ad) + _BUDGET_SLACK:
+                    continue  # infeasible this round; the ad stalls
+                candidates.append((ad, node, marg_rev, marg_pay))
+
+            winner = self._select(candidates)
+            if winner is None:
+                break
+            ad, node, _, _ = winner
+            state = self._states[ad]
+            allocation.add(node, ad)
+            self._assigned[node] = True
+            state.seeds.append(node)
+            state.seed_cost += inst.incentive(ad, node)
+            state.collection.mark_covered_by(node)
+            if len(state.seeds) == state.s_est and not state.done:
+                self._grow(ad)
+
+        revenue = [
+            self._revenue(ad) if self._states[ad].seeds else 0.0 for ad in range(h)
+        ]
+        seed_cost = [self._states[ad].seed_cost for ad in range(h)]
+        if self.share_samples:
+            shared_stores = {id(s.store): s.store for s in self._states if s.store}
+            memory = sum(store.memory_bytes() for store in shared_stores.values())
+            memory += sum(s.collection.memory_bytes() for s in self._states)
+        else:
+            memory = sum(self._states[ad].collection.memory_bytes() for ad in range(h))
+        return AllocationResult(
+            allocation=allocation,
+            revenue_per_ad=revenue,
+            seeding_cost_per_ad=seed_cost,
+            algorithm=self.algorithm_name,
+            runtime_seconds=time.perf_counter() - start,
+            extras={
+                "rounds": rounds,
+                "theta_per_ad": [s.theta for s in self._states],
+                "seed_size_estimate_per_ad": [s.s_est for s in self._states],
+                "memory_bytes": memory,
+                "eps": self.eps,
+                "window": self.window,
+                "candidate_rule": self.candidate_rule,
+                "share_samples": self.share_samples,
+                "selector": self.selector,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Winner selection (line 9 and the baselines' replacements)
+    # ------------------------------------------------------------------
+    def _select(
+        self, candidates: list[tuple[int, int, float, float]]
+    ) -> tuple[int, int, float, float] | None:
+        if not candidates:
+            return None
+        if self.selector == "revenue":
+            return max(candidates, key=lambda c: (c[2], -c[0]))
+        if self.selector == "rate":
+            def rate(c: tuple[int, int, float, float]) -> float:
+                _, _, rev, pay = c
+                if pay <= 0:
+                    return float("inf") if rev > 0 else 0.0
+                return rev / pay
+            return max(candidates, key=lambda c: (rate(c), -c[0]))
+        # round_robin: first ad at-or-after the cursor with a candidate.
+        by_ad = {c[0]: c for c in candidates}
+        h = self.instance.h
+        for offset in range(h):
+            ad = (self._rr_cursor + offset) % h
+            if ad in by_ad:
+                self._rr_cursor = (ad + 1) % h
+                return by_ad[ad]
+        return None

@@ -1,0 +1,47 @@
+"""TI-CARM: the scalable realization of CA-GREEDY (Section 4.2).
+
+Candidate selection is Algorithm 4 (``SelectBestCANode``: the unassigned
+node of maximum residual RR coverage) and winner selection is the
+maximum marginal revenue subject to budget feasibility — the two
+replacements the paper specifies relative to Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import AllocationResult
+from repro.core.instance import RMInstance
+from repro.core.ti_engine import TIEngine
+from repro.rrset.tim import DEFAULT_THETA_CAP
+
+
+def ti_carm(
+    instance: RMInstance,
+    *,
+    eps: float = 0.1,
+    ell: float = 1.0,
+    theta_cap: int | None = DEFAULT_THETA_CAP,
+    opt_lower="kpt",
+    kpt_max_samples: int = 5_000,
+    share_samples: bool = False,
+    seed=None,
+) -> AllocationResult:
+    """Run TI-CARM on *instance*.
+
+    Parameters mirror :class:`~repro.core.ti_engine.TIEngine`; see
+    that class for estimator semantics.  Approximation: Theorem 2's bound
+    deteriorated by the additive RR-estimation term of Theorem 4.
+    """
+    engine = TIEngine(
+        instance,
+        candidate_rule="ca",
+        selector="revenue",
+        eps=eps,
+        ell=ell,
+        theta_cap=theta_cap,
+        opt_lower=opt_lower,
+        kpt_max_samples=kpt_max_samples,
+        share_samples=share_samples,
+        seed=seed,
+        algorithm_name="TI-CARM",
+    )
+    return engine.run()

@@ -1,0 +1,34 @@
+"""Cascade simulation and influence-spread estimation."""
+
+from repro.diffusion.simulate import simulate_cascade, simulate_cascade_with_steps
+from repro.diffusion.montecarlo import (
+    estimate_spread,
+    estimate_singleton_spreads,
+    estimate_singleton_spreads_rr,
+)
+from repro.diffusion.competitive import (
+    simulate_competitive_cascades,
+    estimate_competitive_spreads,
+    estimate_competitive_revenue,
+)
+from repro.diffusion.worlds import (
+    sample_world,
+    reachable_from,
+    exact_spread,
+    exact_singleton_spreads,
+)
+
+__all__ = [
+    "simulate_cascade",
+    "simulate_cascade_with_steps",
+    "estimate_spread",
+    "estimate_singleton_spreads",
+    "estimate_singleton_spreads_rr",
+    "simulate_competitive_cascades",
+    "estimate_competitive_spreads",
+    "estimate_competitive_revenue",
+    "sample_world",
+    "reachable_from",
+    "exact_spread",
+    "exact_singleton_spreads",
+]

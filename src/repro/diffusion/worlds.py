@@ -1,0 +1,102 @@
+"""Possible worlds and exact spread computation for small graphs.
+
+The IC/TIC models are distributions over deterministic graphs ("possible
+worlds"): arc *e* survives independently with probability ``p_e`` and
+``σ(S)`` is the expected number of nodes reachable from ``S`` over that
+distribution.  These routines enumerate the distribution exactly —
+exponential in the number of *random* arcs (``0 < p < 1``), so they are
+gated to tiny graphs — and serve as the ground truth against which the
+Monte-Carlo and RR estimators are validated.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.errors import EstimationError
+from repro.graph.digraph import DiGraph
+
+MAX_RANDOM_EDGES = 20
+
+
+def sample_world(graph: DiGraph, probs: np.ndarray, rng=None) -> np.ndarray:
+    """Draw one possible world: a boolean live-arc mask in canonical order."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.shape != (graph.m,):
+        raise EstimationError(f"probs must have shape ({graph.m},), got {probs.shape}")
+    rng = as_generator(rng)
+    return rng.random(graph.m) < probs
+
+
+def reachable_from(graph: DiGraph, live: np.ndarray, seeds) -> np.ndarray:
+    """Boolean reachability vector from *seeds* using only live arcs."""
+    live = np.asarray(live, dtype=bool)
+    if live.shape != (graph.m,):
+        raise EstimationError(f"live mask must have shape ({graph.m},), got {live.shape}")
+    reached = np.zeros(graph.n, dtype=bool)
+    stack: list[int] = []
+    for s in seeds:
+        s = int(s)
+        if not reached[s]:
+            reached[s] = True
+            stack.append(s)
+    indptr = graph.out_indptr
+    heads = graph.out_heads
+    while stack:
+        u = stack.pop()
+        lo, hi = indptr[u], indptr[u + 1]
+        for k in range(lo, hi):
+            if live[k]:
+                v = int(heads[k])
+                if not reached[v]:
+                    reached[v] = True
+                    stack.append(v)
+    return reached
+
+
+def exact_spread(graph: DiGraph, probs: np.ndarray, seeds) -> float:
+    """Exact ``σ(S)`` by enumerating all possible worlds.
+
+    Arcs with ``p ∈ {0, 1}`` are fixed; the remaining *random* arcs are
+    enumerated, so the cost is ``O(2^r)`` reachability computations where
+    ``r`` is the number of random arcs (must be ≤ ``MAX_RANDOM_EDGES``).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.shape != (graph.m,):
+        raise EstimationError(f"probs must have shape ({graph.m},), got {probs.shape}")
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        return 0.0
+    random_edges = np.flatnonzero((probs > 0.0) & (probs < 1.0))
+    if random_edges.size > MAX_RANDOM_EDGES:
+        raise EstimationError(
+            f"{random_edges.size} random arcs exceed the exact-enumeration "
+            f"limit of {MAX_RANDOM_EDGES}"
+        )
+    base_live = probs >= 1.0
+    total = 0.0
+    for assignment in itertools.product((False, True), repeat=random_edges.size):
+        live = base_live.copy()
+        weight = 1.0
+        for edge, on in zip(random_edges, assignment):
+            p = probs[edge]
+            if on:
+                live[edge] = True
+                weight *= p
+            else:
+                weight *= 1.0 - p
+        if weight == 0.0:
+            continue
+        total += weight * float(reachable_from(graph, live, seeds).sum())
+    return total
+
+
+def exact_singleton_spreads(graph: DiGraph, probs: np.ndarray) -> np.ndarray:
+    """Exact ``σ({u})`` for every node (tiny graphs only)."""
+    return np.asarray(
+        [exact_spread(graph, probs, [u]) for u in range(graph.n)],
+        dtype=np.float64,
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph construction or invalid node/edge ids."""
+
+
+class TopicModelError(ReproError):
+    """Raised for invalid topic distributions or probability tensors."""
+
+
+class InstanceError(ReproError):
+    """Raised for inconsistent RM problem instances.
+
+    Examples include budgets that cannot afford a single seed (degenerate
+    instances ruled out in Section 2 of the paper), mismatched advertiser
+    metadata, or incentive vectors of the wrong length.
+    """
+
+
+class AllocationError(ReproError):
+    """Raised when an allocation violates the problem's constraints."""
+
+
+class EstimationError(ReproError):
+    """Raised when a spread estimator is asked for an impossible quantity."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative routine fails to converge."""

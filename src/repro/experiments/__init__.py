@@ -1,0 +1,43 @@
+"""Experiment harness: synthetic analog datasets and per-figure runners."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import (
+    Dataset,
+    DATASET_BUILDERS,
+    build_dataset,
+    clear_dataset_cache,
+)
+from repro.experiments.harness import run_algorithm, run_algorithms, ALGORITHMS
+from repro.experiments.figures import (
+    run_alpha_sweep,
+    run_figure4,
+    run_figure5_advertisers,
+    run_figure5_budgets,
+    run_diagnostics,
+    run_ablation_epsilon,
+)
+from repro.experiments.tables import table1_rows, table2_rows, table3_rows
+from repro.experiments.reporting import format_table, save_report, series_text
+
+__all__ = [
+    "ExperimentConfig",
+    "Dataset",
+    "DATASET_BUILDERS",
+    "build_dataset",
+    "clear_dataset_cache",
+    "run_algorithm",
+    "run_algorithms",
+    "ALGORITHMS",
+    "run_alpha_sweep",
+    "run_figure4",
+    "run_figure5_advertisers",
+    "run_figure5_budgets",
+    "run_diagnostics",
+    "run_ablation_epsilon",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "format_table",
+    "save_report",
+    "series_text",
+]

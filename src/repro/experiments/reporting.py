@@ -1,0 +1,70 @@
+"""Plain-text reporting: paper-style tables and series.
+
+Benchmarks print these tables (the "same rows/series the paper reports")
+and persist them under ``benchmarks/results/`` so EXPERIMENTS.md can be
+filled in from artifacts rather than scrollback.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+_RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+_DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+def format_value(value) -> str:
+    """Render one table cell."""
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.2f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict-rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[k]) for r in rendered))
+        for k, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def series_text(title: str, xs: Iterable, ys_by_name: dict[str, Iterable]) -> str:
+    """Render one figure panel: an x column plus one column per series."""
+    xs = list(xs)
+    names = list(ys_by_name)
+    rows = []
+    for k, x in enumerate(xs):
+        row = {"x": x}
+        for name in names:
+            row[name] = list(ys_by_name[name])[k]
+        rows.append(row)
+    return f"== {title} ==\n" + format_table(rows, ["x"] + names)
+
+
+def results_dir() -> str:
+    """Directory where reports are persisted (overridable via env)."""
+    return os.environ.get(_RESULTS_DIR_ENV, _DEFAULT_RESULTS_DIR)
+
+
+def save_report(name: str, text: str) -> str:
+    """Write *text* to ``<results_dir>/<name>.txt``; returns the path."""
+    directory = results_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return path

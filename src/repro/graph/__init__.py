@@ -1,0 +1,33 @@
+"""Graph substrate: CSR digraph, generators, IO, PageRank, statistics."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    erdos_renyi,
+    kronecker_like,
+    powerlaw_configuration,
+    preferential_attachment,
+    star,
+    path,
+    complete,
+)
+from repro.graph.io import load_edge_list, save_edge_list, load_npz, save_npz
+from repro.graph.pagerank import pagerank
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "DiGraph",
+    "erdos_renyi",
+    "kronecker_like",
+    "powerlaw_configuration",
+    "preferential_attachment",
+    "star",
+    "path",
+    "complete",
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    "pagerank",
+    "GraphStats",
+    "compute_stats",
+]

@@ -1,0 +1,225 @@
+"""Compressed-sparse-row directed graph.
+
+The social network in the paper is a directed graph ``G = (V, E)`` where an
+arc ``(u, v)`` means *v follows u*: posts by ``u`` appear in ``v``'s feed,
+so influence travels along the arc direction.  The two hot operations are
+
+* forward adjacency scans (cascade simulation walks out-neighbors), and
+* reverse adjacency scans (RR-set sampling walks in-neighbors),
+
+so :class:`DiGraph` stores both CSR directions.  Edges have a *canonical
+id*: their position in the out-CSR ordering (sorted by tail).  Per-edge
+attributes (influence probabilities, above all) are plain numpy arrays
+indexed by canonical id; ``in_edge_ids`` maps each in-CSR slot back to the
+canonical id so reverse scans can look up the same attribute arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class DiGraph:
+    """Immutable directed graph in dual-CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are the integers ``0 .. n-1``.
+    tails, heads:
+        Parallel integer arrays defining the arcs ``tails[k] -> heads[k]``.
+    dedupe:
+        Drop duplicate arcs (keeping one copy) when ``True``.
+    allow_self_loops:
+        Self loops are rejected by default: they are meaningless under the
+        independent-cascade semantics used throughout the paper.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "out_indptr",
+        "out_heads",
+        "in_indptr",
+        "in_tails",
+        "in_edge_ids",
+        "_edge_tails",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        tails: Sequence[int],
+        heads: Sequence[int],
+        *,
+        dedupe: bool = True,
+        allow_self_loops: bool = False,
+    ) -> None:
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        tails = np.asarray(tails, dtype=np.int64)
+        heads = np.asarray(heads, dtype=np.int64)
+        if tails.shape != heads.shape or tails.ndim != 1:
+            raise GraphError("tails and heads must be 1-D arrays of equal length")
+        if tails.size:
+            lo = min(tails.min(), heads.min())
+            hi = max(tails.max(), heads.max())
+            if lo < 0 or hi >= n:
+                raise GraphError(
+                    f"edge endpoints must lie in [0, {n}), got range [{lo}, {hi}]"
+                )
+        if not allow_self_loops and tails.size and np.any(tails == heads):
+            raise GraphError("self loops are not allowed (pass allow_self_loops=True)")
+
+        if dedupe and tails.size:
+            keys = tails * n + heads
+            _, keep = np.unique(keys, return_index=True)
+            keep.sort()
+            tails = tails[keep]
+            heads = heads[keep]
+
+        # Canonical order: stable sort by tail, ties kept in input order.
+        order = np.argsort(tails, kind="stable")
+        tails = tails[order]
+        heads = heads[order]
+
+        self.n = int(n)
+        self.m = int(tails.size)
+        self.out_heads = np.ascontiguousarray(heads)
+        self._edge_tails = np.ascontiguousarray(tails)
+        self.out_indptr = np.zeros(n + 1, dtype=np.int64)
+        if self.m:
+            np.add.at(self.out_indptr, tails + 1, 1)
+        np.cumsum(self.out_indptr, out=self.out_indptr)
+
+        # In-CSR: group canonical edge ids by head.
+        in_order = np.argsort(heads, kind="stable")
+        self.in_edge_ids = np.ascontiguousarray(in_order)
+        self.in_tails = np.ascontiguousarray(tails[in_order])
+        self.in_indptr = np.zeros(n + 1, dtype=np.int64)
+        if self.m:
+            np.add.at(self.in_indptr, heads + 1, 1)
+        np.cumsum(self.in_indptr, out=self.in_indptr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[tuple[int, int]], n: int | None = None, **kwargs) -> "DiGraph":
+        """Build a graph from ``(tail, head)`` pairs.
+
+        When *n* is omitted it is inferred as ``max endpoint + 1``.
+        """
+        pairs = list(edges)
+        if pairs:
+            arr = np.asarray(pairs, dtype=np.int64)
+            tails, heads = arr[:, 0], arr[:, 1]
+        else:
+            tails = heads = np.empty(0, dtype=np.int64)
+        if n is None:
+            n = int(max(tails.max(initial=-1), heads.max(initial=-1)) + 1)
+        return cls(n, tails, heads, **kwargs)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: dict[int, Iterable[int]], n: int | None = None, **kwargs) -> "DiGraph":
+        """Build a graph from a ``{tail: [heads...]}`` mapping."""
+        tails: list[int] = []
+        heads: list[int] = []
+        for u, vs in adjacency.items():
+            for v in vs:
+                tails.append(u)
+                heads.append(v)
+        if n is None:
+            candidates = list(adjacency.keys()) + heads
+            n = max(candidates) + 1 if candidates else 0
+        return cls(n, tails, heads, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Heads of arcs leaving *u* (the followers u can influence)."""
+        return self.out_heads[self.out_indptr[u]:self.out_indptr[u + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Tails of arcs entering *v* (the users who can influence v)."""
+        return self.in_tails[self.in_indptr[v]:self.in_indptr[v + 1]]
+
+    def out_edge_ids(self, u: int) -> np.ndarray:
+        """Canonical ids of arcs leaving *u* (a contiguous range)."""
+        return np.arange(self.out_indptr[u], self.out_indptr[u + 1], dtype=np.int64)
+
+    def in_edge_ids_of(self, v: int) -> np.ndarray:
+        """Canonical ids of arcs entering *v*."""
+        return self.in_edge_ids[self.in_indptr[v]:self.in_indptr[v + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees (audience size of each user)."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees (number of followees of each user)."""
+        return np.diff(self.in_indptr)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(tails, heads)`` in canonical edge order."""
+        return self._edge_tails.copy(), self.out_heads.copy()
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        """Iterate over arcs as ``(tail, head)`` pairs in canonical order."""
+        for k in range(self.m):
+            yield int(self._edge_tails[k]), int(self.out_heads[k])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the arc ``u -> v`` exists."""
+        return bool(np.any(self.out_neighbors(u) == v))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every arc flipped."""
+        tails, heads = self.edge_array()
+        return DiGraph(self.n, heads, tails, dedupe=False)
+
+    def to_bidirected(self) -> "DiGraph":
+        """Direct every arc both ways (paper's treatment of DBLP)."""
+        tails, heads = self.edge_array()
+        return DiGraph(
+            self.n,
+            np.concatenate([tails, heads]),
+            np.concatenate([heads, tails]),
+            dedupe=True,
+        )
+
+    def subgraph(self, nodes: Sequence[int]) -> "DiGraph":
+        """Induced subgraph on *nodes*, relabelled to ``0..len(nodes)-1``."""
+        nodes = np.asarray(sorted(set(int(x) for x in nodes)), dtype=np.int64)
+        relabel = -np.ones(self.n, dtype=np.int64)
+        relabel[nodes] = np.arange(nodes.size)
+        tails, heads = self.edge_array()
+        keep = (relabel[tails] >= 0) & (relabel[heads] >= 0)
+        return DiGraph(int(nodes.size), relabel[tails[keep]], relabel[heads[keep]], dedupe=False)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiGraph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m == other.m
+            and np.array_equal(self._edge_tails, other._edge_tails)
+            and np.array_equal(self.out_heads, other.out_heads)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m, self._edge_tails.tobytes(), self.out_heads.tobytes()))

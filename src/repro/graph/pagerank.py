@@ -1,0 +1,92 @@
+"""Weighted PageRank by power iteration.
+
+The PageRank-GR / PageRank-RR baselines in Section 5 rank candidate seeds
+by *ad-specific* PageRank: the random surfer walks arcs in the influence
+direction with transition mass proportional to the ad-specific influence
+probability ``p^i_{u,v}`` (Eq. 1).  Passing ``weights=None`` gives the
+classic unweighted variant.
+
+The implementation is a dangling-aware power iteration on the CSR arrays;
+it is cross-validated against ``networkx.pagerank`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.graph.digraph import DiGraph
+
+
+def pagerank(
+    graph: DiGraph,
+    weights: np.ndarray | None = None,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Return the PageRank vector (sums to 1) of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The social graph; rank flows along arc direction.
+    weights:
+        Optional per-edge non-negative weights in canonical edge order
+        (e.g. ad-specific influence probabilities).  Out-edges of a node
+        are normalized by their weight sum; zero-weight-sum nodes are
+        treated as dangling.
+    damping:
+        Teleportation parameter in ``(0, 1)``.
+    tol:
+        L1 convergence threshold.
+    max_iter:
+        Iteration budget; :class:`~repro.errors.ConvergenceError` is
+        raised when exceeded.
+    """
+    n = graph.n
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+
+    tails, heads = graph.edge_array()
+    if weights is None:
+        w = np.ones(graph.m, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (graph.m,):
+            raise ValueError(f"weights must have shape ({graph.m},), got {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+
+    out_sum = np.zeros(n, dtype=np.float64)
+    np.add.at(out_sum, tails, w)
+    dangling = out_sum <= 0.0
+    safe_out = np.where(dangling, 1.0, out_sum)
+    transition = w / safe_out[tails]
+
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        dangling_mass = rank[dangling].sum()
+        new = np.full(n, teleport + damping * dangling_mass / n, dtype=np.float64)
+        np.add.at(new, heads, damping * transition * rank[tails])
+        delta = np.abs(new - rank).sum()
+        rank = new
+        if delta < tol:
+            return rank
+    raise ConvergenceError(
+        f"PageRank did not converge within {max_iter} iterations (delta={delta:.3e})"
+    )
+
+
+def pagerank_order(
+    graph: DiGraph,
+    weights: np.ndarray | None = None,
+    damping: float = 0.85,
+) -> np.ndarray:
+    """Node ids sorted by descending PageRank (ties by node id)."""
+    scores = pagerank(graph, weights=weights, damping=damping)
+    # Stable sort on negated scores -> deterministic tie-breaking by id.
+    return np.argsort(-scores, kind="stable")

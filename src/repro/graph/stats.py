@@ -1,0 +1,59 @@
+"""Graph statistics used by Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary row matching Table 1 plus degree diagnostics."""
+
+    name: str
+    n_nodes: int
+    n_edges: int
+    graph_type: str
+    mean_out_degree: float
+    max_out_degree: int
+    mean_in_degree: float
+    max_in_degree: int
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary form for tabular reporting."""
+        return {
+            "dataset": self.name,
+            "#nodes": self.n_nodes,
+            "#edges": self.n_edges,
+            "type": self.graph_type,
+            "avg out-deg": round(self.mean_out_degree, 2),
+            "max out-deg": self.max_out_degree,
+        }
+
+
+def is_symmetric(graph: DiGraph) -> bool:
+    """Whether every arc has its reverse (an undirected graph bidirected)."""
+    tails, heads = graph.edge_array()
+    forward = set(zip(tails.tolist(), heads.tolist()))
+    return all((h, t) in forward for t, h in forward)
+
+
+def compute_stats(graph: DiGraph, name: str = "graph", graph_type: str | None = None) -> GraphStats:
+    """Compute the Table-1 style statistics row for *graph*."""
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    if graph_type is None:
+        graph_type = "undirected" if graph.m and is_symmetric(graph) else "directed"
+    return GraphStats(
+        name=name,
+        n_nodes=graph.n,
+        n_edges=graph.m,
+        graph_type=graph_type,
+        mean_out_degree=float(out_deg.mean()) if graph.n else 0.0,
+        max_out_degree=int(out_deg.max()) if graph.n else 0,
+        mean_in_degree=float(in_deg.mean()) if graph.n else 0.0,
+        max_in_degree=int(in_deg.max()) if graph.n else 0,
+    )

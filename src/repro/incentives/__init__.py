@@ -1,0 +1,21 @@
+"""Seed-user incentive models ``c_i(u) = f(σ_i({u}))``."""
+
+from repro.incentives.models import (
+    IncentiveModel,
+    INCENTIVE_MODELS,
+    linear_incentives,
+    constant_incentives,
+    sublinear_incentives,
+    superlinear_incentives,
+    compute_incentives,
+)
+
+__all__ = [
+    "IncentiveModel",
+    "INCENTIVE_MODELS",
+    "linear_incentives",
+    "constant_incentives",
+    "sublinear_incentives",
+    "superlinear_incentives",
+    "compute_incentives",
+]

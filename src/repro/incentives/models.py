@@ -1,0 +1,113 @@
+"""The four seed-incentive models of Section 5.
+
+Incentives are monotone functions of the seed's ad-specific singleton
+spread, ``c_i(u) = f(σ_i({u}))``, scaled by a host-chosen dollar amount
+``α`` that controls how expensive influencers are:
+
+* linear       ``c_i(u) = α · σ_i({u})``
+* constant     ``c_i(u) = α · (Σ_v σ_i({v})) / n``    (same for every u)
+* sublinear    ``c_i(u) = α · log σ_i({u})``
+* superlinear  ``c_i(u) = α · σ_i({u})²``
+
+The models deliberately span a wide ``ρ_max/ρ_min`` range: constant
+nullifies cost-sensitivity (TI-CARM ≡ TI-CSRM), superlinear maximizes
+the payoff of cost-sensitive seeding (Figures 2–3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InstanceError
+
+
+def _validate(singleton_spreads: np.ndarray, alpha: float) -> np.ndarray:
+    spreads = np.asarray(singleton_spreads, dtype=np.float64)
+    if spreads.ndim != 1 or spreads.size == 0:
+        raise InstanceError("singleton spreads must be a non-empty 1-D vector")
+    if np.any(spreads < 1.0 - 1e-9):
+        raise InstanceError(
+            "singleton spreads must be >= 1 (a seed always engages itself)"
+        )
+    if alpha <= 0:
+        raise InstanceError(f"alpha must be positive, got {alpha}")
+    return spreads
+
+
+def linear_incentives(singleton_spreads, alpha: float) -> np.ndarray:
+    """``α · σ_i({u})``."""
+    return alpha * _validate(singleton_spreads, alpha)
+
+
+def constant_incentives(singleton_spreads, alpha: float) -> np.ndarray:
+    """``α · mean(σ_i)`` for every node — the cost-insensitivity control."""
+    spreads = _validate(singleton_spreads, alpha)
+    return np.full(spreads.size, alpha * spreads.mean())
+
+
+def sublinear_incentives(singleton_spreads, alpha: float) -> np.ndarray:
+    """``α · log σ_i({u})`` (0 for spread-1 nodes, as in the paper)."""
+    return alpha * np.log(_validate(singleton_spreads, alpha))
+
+
+def superlinear_incentives(singleton_spreads, alpha: float) -> np.ndarray:
+    """``α · σ_i({u})²``."""
+    spreads = _validate(singleton_spreads, alpha)
+    return alpha * spreads * spreads
+
+
+@dataclass(frozen=True)
+class IncentiveModel:
+    """Named incentive transform with the α grid the paper sweeps."""
+
+    name: str
+    transform: Callable[[np.ndarray, float], np.ndarray]
+    # α grids used in Figures 2/3 (FLIXSTER grid, EPINIONS grid).
+    paper_alphas_flixster: tuple[float, ...]
+    paper_alphas_epinions: tuple[float, ...]
+
+    def __call__(self, singleton_spreads, alpha: float) -> np.ndarray:
+        return self.transform(singleton_spreads, alpha)
+
+
+INCENTIVE_MODELS: dict[str, IncentiveModel] = {
+    "linear": IncentiveModel(
+        "linear",
+        linear_incentives,
+        (0.1, 0.2, 0.3, 0.4, 0.5),
+        (0.1, 0.2, 0.3, 0.4, 0.5),
+    ),
+    "constant": IncentiveModel(
+        "constant",
+        constant_incentives,
+        (0.1, 0.2, 0.3, 0.4, 0.5),
+        (6.0, 7.0, 8.0, 9.0, 10.0),
+    ),
+    "sublinear": IncentiveModel(
+        "sublinear",
+        sublinear_incentives,
+        (1.0, 2.0, 3.0, 4.0, 5.0),
+        (11.0, 12.0, 13.0, 14.0, 15.0),
+    ),
+    "superlinear": IncentiveModel(
+        "superlinear",
+        superlinear_incentives,
+        (0.0001, 0.0002, 0.0003, 0.0004, 0.0005),
+        (0.0006, 0.0007, 0.0008, 0.0009, 0.001),
+    ),
+}
+
+
+def compute_incentives(singleton_spreads, model: str | IncentiveModel, alpha: float) -> np.ndarray:
+    """Evaluate an incentive model by name or instance."""
+    if isinstance(model, str):
+        try:
+            model = INCENTIVE_MODELS[model]
+        except KeyError:
+            raise InstanceError(
+                f"unknown incentive model {model!r}; options: {sorted(INCENTIVE_MODELS)}"
+            ) from None
+    return model(singleton_spreads, alpha)

@@ -1,0 +1,25 @@
+"""Reverse-reachable set machinery (Borgs et al.; Tang et al. TIM)."""
+
+from repro.rrset.sampler import RRSampler
+from repro.rrset.collection import (
+    RRCollection,
+    SharedRRCollection,
+    SharedRRStore,
+    estimate_spread_from_sets,
+)
+from repro.rrset.tim import (
+    log_binomial,
+    sample_size,
+    KPTEstimator,
+)
+
+__all__ = [
+    "RRSampler",
+    "RRCollection",
+    "SharedRRCollection",
+    "SharedRRStore",
+    "estimate_spread_from_sets",
+    "log_binomial",
+    "sample_size",
+    "KPTEstimator",
+]

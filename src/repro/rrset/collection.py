@@ -1,0 +1,344 @@
+"""Coverage-indexed collections of RR sets.
+
+:class:`RRCollection` is the workhorse behind TI-CARM / TI-CSRM
+(Algorithm 2).  It maintains, for one ad:
+
+* the sampled RR sets (``θ_i`` of them, growing as the latent seed-set
+  size estimate grows),
+* a *residual* coverage count per node — how many not-yet-covered sets
+  the node belongs to, which is exactly the marginal-coverage quantity
+  ``cov_i(v)`` the selection rules in Algorithms 4 and 5 maximize,
+* the running number of covered sets, from which the revenue estimate
+  ``π̂_i(S_i) = cpe(i) · n · covered / θ_i`` follows.
+
+"Covered" sets are removed lazily (flagged, with member counts
+decremented) which implements line 14 of Algorithm 2; newly sampled sets
+that already contain a seed are absorbed directly into the covered count,
+implementing the coverage refresh of ``UpdateEstimates`` (Algorithm 3).
+
+The collection also reports its memory footprint analytically, backing
+the Table 3 reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+class RRCollection:
+    """Mutable, coverage-indexed RR-set store for one ad."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise EstimationError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.sets: list[np.ndarray] = []
+        self.covered: list[bool] = []
+        self.covered_total = 0
+        self.counts = np.zeros(n_nodes, dtype=np.int64)
+        self._cover_lists: list[list[int]] = [[] for _ in range(n_nodes)]
+        self._member_total = 0
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def add_sets(self, new_sets: Iterable[np.ndarray], seeds: Sequence[int] = ()) -> int:
+        """Append RR sets; sets already hit by *seeds* count as covered.
+
+        Returns the number of newly added sets that were immediately
+        covered (the ``cov'`` refresh of Algorithm 3).
+        """
+        seed_mask = np.zeros(self.n_nodes, dtype=bool)
+        for s in seeds:
+            seed_mask[int(s)] = True
+        absorbed = 0
+        for members in new_sets:
+            members = np.asarray(members, dtype=np.int64)
+            if members.size and (members.min() < 0 or members.max() >= self.n_nodes):
+                raise EstimationError("RR set contains out-of-range node ids")
+            sid = len(self.sets)
+            self.sets.append(members)
+            self._member_total += int(members.size)
+            if members.size and seed_mask[members].any():
+                self.covered.append(True)
+                self.covered_total += 1
+                absorbed += 1
+                # Covered sets are dead for marginal-gain purposes; they
+                # are neither indexed nor counted.
+                continue
+            self.covered.append(False)
+            for v in members:
+                self._cover_lists[v].append(sid)
+            self.counts[members] += 1
+        return absorbed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def theta(self) -> int:
+        """Total number of sampled RR sets (covered included)."""
+        return len(self.sets)
+
+    def residual_count(self, node: int) -> int:
+        """Number of uncovered sets containing *node* (``cov_i(node)``)."""
+        return int(self.counts[node])
+
+    def best_node(self, allowed: np.ndarray) -> int | None:
+        """Unassigned node with maximum residual coverage (Algorithm 4).
+
+        *allowed* is a boolean mask over nodes; returns ``None`` when no
+        allowed node covers anything... except that a zero-coverage node is
+        still a legal (zero-marginal-revenue) candidate, so the argmax is
+        returned whenever any node is allowed.
+        """
+        if not allowed.any():
+            return None
+        masked = np.where(allowed, self.counts, -1)
+        node = int(masked.argmax())
+        if masked[node] < 0:
+            return None
+        return node
+
+    def best_node_by_ratio(
+        self,
+        costs: np.ndarray,
+        allowed: np.ndarray,
+        window: int | None = None,
+    ) -> int | None:
+        """Node maximizing coverage-to-incentive-cost ratio (Algorithm 5).
+
+        With *window* = ``w`` the argmax is restricted to the ``w`` allowed
+        nodes of highest residual coverage — the trade-off knob studied in
+        Figure 4 (``w = 1`` reduces to the cost-agnostic choice, ``w = n``
+        is the full cost-sensitive rule).  Zero costs are floored at a tiny
+        epsilon for the division only, making free influencers maximally
+        attractive without numeric warnings.
+        """
+        if not allowed.any():
+            return None
+        candidate_idx = np.flatnonzero(allowed)
+        if window is not None and window < candidate_idx.size:
+            cand_counts = self.counts[candidate_idx]
+            top = np.argpartition(-cand_counts, window - 1)[:window]
+            candidate_idx = candidate_idx[top]
+        safe_costs = np.maximum(costs[candidate_idx], 1e-12)
+        ratios = self.counts[candidate_idx] / safe_costs
+        best = int(np.argmax(ratios))
+        return int(candidate_idx[best])
+
+    def max_residual_fraction(self, allowed: np.ndarray) -> float:
+        """``F^max_{R_i}``: the largest residual coverage fraction (Eq. 10)."""
+        if self.theta == 0 or not allowed.any():
+            return 0.0
+        return float(np.where(allowed, self.counts, 0).max()) / self.theta
+
+    def spread_estimate(self, node_or_set, n_nodes: int | None = None) -> float:
+        """Static spread estimate ``n · F_R(S)`` over *all* sampled sets.
+
+        Unlike the residual counts this intentionally includes covered
+        sets, matching the unbiased-estimator definition.
+        """
+        if self.theta == 0:
+            raise EstimationError("cannot estimate spread from an empty collection")
+        n = self.n_nodes if n_nodes is None else n_nodes
+        members = np.zeros(self.n_nodes, dtype=bool)
+        if np.isscalar(node_or_set):
+            members[int(node_or_set)] = True
+        else:
+            for v in node_or_set:
+                members[int(v)] = True
+        hit = sum(1 for s in self.sets if s.size and members[s].any())
+        return n * hit / self.theta
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def mark_covered_by(self, node: int) -> int:
+        """Cover every uncovered set containing *node* (Alg. 2, line 14).
+
+        Member counts of the covered sets are decremented so residual
+        counts stay equal to marginal coverages.  Returns the number of
+        sets newly covered (the selected seed's ``cov_i``).
+        """
+        newly = 0
+        for sid in self._cover_lists[node]:
+            if self.covered[sid]:
+                continue
+            self.covered[sid] = True
+            self.covered_total += 1
+            newly += 1
+            self.counts[self.sets[sid]] -= 1
+        self._cover_lists[node] = []
+        return newly
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Analytic footprint of the stored sets and indexes (Table 3)."""
+        set_bytes = self._member_total * 8
+        index_bytes = self._member_total * 8
+        flags = len(self.covered)
+        counts_bytes = self.counts.nbytes
+        return set_bytes + index_bytes + flags + counts_bytes
+
+
+class SharedRRStore:
+    """Append-only RR-set storage shared by several advertisers.
+
+    Addresses the paper's open question (i) — "whether TI-CSRM can be
+    made more memory efficient".  In the fully competitive marketplaces
+    of Section 5 every ad uses the *same* arc probabilities (L = 1 or
+    pure-competition pairs), so their RR sets are i.i.d. from the same
+    distribution; the sets themselves (and the node → set inverted
+    index) can therefore be stored once and shared, with each ad keeping
+    only its private residual state (covered flags + counts) in
+    :class:`SharedRRCollection`.  Storage drops from ``O(h · θ · |R|)``
+    to ``O(θ · |R| + h · (θ + n))``.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise EstimationError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.sets: list[np.ndarray] = []
+        self.cover_lists: list[list[int]] = [[] for _ in range(n_nodes)]
+        self.member_total = 0
+
+    def extend(self, new_sets: Iterable[np.ndarray]) -> None:
+        """Append sets (validated) and index their members."""
+        for members in new_sets:
+            members = np.asarray(members, dtype=np.int64)
+            if members.size and (members.min() < 0 or members.max() >= self.n_nodes):
+                raise EstimationError("RR set contains out-of-range node ids")
+            sid = len(self.sets)
+            self.sets.append(members)
+            self.member_total += int(members.size)
+            for v in members:
+                self.cover_lists[v].append(sid)
+
+    @property
+    def size(self) -> int:
+        """Number of stored sets."""
+        return len(self.sets)
+
+    def memory_bytes(self) -> int:
+        """Footprint of the shared sets + inverted index."""
+        return self.member_total * 8 * 2
+
+
+class SharedRRCollection:
+    """One ad's residual view over a :class:`SharedRRStore`.
+
+    Implements the same interface surface the TI engine uses on
+    :class:`RRCollection` (residual counts, covering, Eq.-10 fractions,
+    Alg.-3 absorption), but stores only ``covered`` flags and the count
+    vector privately.  ``theta`` is the number of store sets this ad has
+    *adopted*; adopting more sets (after an Eq.-10 growth step) indexes
+    the new suffix of the shared store.
+    """
+
+    def __init__(self, store: SharedRRStore) -> None:
+        self.store = store
+        self.n_nodes = store.n_nodes
+        self.covered: list[bool] = []
+        self.covered_total = 0
+        self.counts = np.zeros(store.n_nodes, dtype=np.int64)
+        self._adopted = 0
+
+    @property
+    def theta(self) -> int:
+        """Number of store sets adopted by this ad."""
+        return self._adopted
+
+    def adopt(self, upto: int, seeds: Sequence[int] = ()) -> int:
+        """Adopt store sets ``[adopted, upto)``; seed-hit sets absorb as covered.
+
+        Mirrors :meth:`RRCollection.add_sets` semantics (Algorithm 3's
+        refresh); returns the number of newly absorbed covered sets.
+        """
+        if upto > self.store.size:
+            raise EstimationError(
+                f"cannot adopt {upto} sets; store only holds {self.store.size}"
+            )
+        seed_mask = np.zeros(self.n_nodes, dtype=bool)
+        for s in seeds:
+            seed_mask[int(s)] = True
+        absorbed = 0
+        for sid in range(self._adopted, upto):
+            members = self.store.sets[sid]
+            if members.size and seed_mask[members].any():
+                self.covered.append(True)
+                self.covered_total += 1
+                absorbed += 1
+                continue
+            self.covered.append(False)
+            self.counts[members] += 1
+        self._adopted = max(self._adopted, upto)
+        return absorbed
+
+    def residual_count(self, node: int) -> int:
+        """``cov_i(node)`` over this ad's uncovered adopted sets."""
+        return int(self.counts[node])
+
+    def best_node(self, allowed: np.ndarray) -> int | None:
+        """Same selection rule as :meth:`RRCollection.best_node`."""
+        if not allowed.any():
+            return None
+        masked = np.where(allowed, self.counts, -1)
+        node = int(masked.argmax())
+        return None if masked[node] < 0 else node
+
+    def best_node_by_ratio(
+        self, costs: np.ndarray, allowed: np.ndarray, window: int | None = None
+    ) -> int | None:
+        """Same selection rule as :meth:`RRCollection.best_node_by_ratio`."""
+        if not allowed.any():
+            return None
+        candidate_idx = np.flatnonzero(allowed)
+        if window is not None and window < candidate_idx.size:
+            cand_counts = self.counts[candidate_idx]
+            top = np.argpartition(-cand_counts, window - 1)[:window]
+            candidate_idx = candidate_idx[top]
+        safe_costs = np.maximum(costs[candidate_idx], 1e-12)
+        ratios = self.counts[candidate_idx] / safe_costs
+        return int(candidate_idx[int(np.argmax(ratios))])
+
+    def max_residual_fraction(self, allowed: np.ndarray) -> float:
+        """``F^max_{R_i}`` over this ad's residual view (Eq. 10)."""
+        if self._adopted == 0 or not allowed.any():
+            return 0.0
+        return float(np.where(allowed, self.counts, 0).max()) / self._adopted
+
+    def mark_covered_by(self, node: int) -> int:
+        """Cover this ad's uncovered adopted sets containing *node*."""
+        newly = 0
+        for sid in self.store.cover_lists[node]:
+            if sid >= self._adopted or self.covered[sid]:
+                continue
+            self.covered[sid] = True
+            self.covered_total += 1
+            newly += 1
+            self.counts[self.store.sets[sid]] -= 1
+        return newly
+
+    def memory_bytes(self) -> int:
+        """Private overlay only; the shared store is accounted once."""
+        return len(self.covered) + self.counts.nbytes
+
+
+def estimate_spread_from_sets(sets: Sequence[np.ndarray], seed_set, n_nodes: int) -> float:
+    """Unbiased spread estimate ``n · F_R(S)`` from a static RR sample."""
+    if not sets:
+        raise EstimationError("cannot estimate spread from an empty sample")
+    members = set(int(v) for v in seed_set)
+    hit = 0
+    for rr in sets:
+        if any(int(v) in members for v in rr):
+            hit += 1
+    return n_nodes * hit / len(sets)

@@ -1,0 +1,33 @@
+"""Generic submodular-function toolkit: functions, checks, curvature, greedy."""
+
+from repro.submodular.functions import (
+    SetFunction,
+    ModularFunction,
+    CoverageFunction,
+    WeightedCoverageFunction,
+    ScaledFunction,
+    SumFunction,
+)
+from repro.submodular.checks import (
+    is_monotone,
+    is_submodular,
+    total_curvature,
+    set_curvature,
+    average_curvature,
+)
+from repro.submodular.greedy import greedy_independence_system
+
+__all__ = [
+    "SetFunction",
+    "ModularFunction",
+    "CoverageFunction",
+    "WeightedCoverageFunction",
+    "ScaledFunction",
+    "SumFunction",
+    "is_monotone",
+    "is_submodular",
+    "total_curvature",
+    "set_curvature",
+    "average_curvature",
+    "greedy_independence_system",
+]

@@ -1,0 +1,122 @@
+"""Structural checks and curvature computations (Definition 4; Iyer et al.).
+
+The approximation guarantees of Theorems 2 and 3 are stated in terms of
+curvature — the deviation of a monotone submodular function from
+modularity:
+
+* total curvature       ``κ_f = 1 − min_j f(j | V∖{j}) / f({j})``
+* curvature w.r.t. S    ``κ_f(S) = 1 − min_{j∈S} f(j | S∖{j}) / f({j})``
+* average curvature     ``κ̂_f(S) = 1 − Σ_{j∈S} f(j|S∖{j}) / Σ_{j∈S} f({j})``
+
+with the chain ``0 ≤ κ̂_f(S) ≤ κ_f(S) ≤ κ_f(V) = κ_f ≤ 1`` (Iyer et al.,
+reproduced as a property test).  Monotonicity/submodularity checkers are
+exhaustive on small ground sets and sampled otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.submodular.functions import SetFunction
+
+_EXHAUSTIVE_LIMIT = 12
+_TOL = 1e-9
+
+
+def _subsets(ground: frozenset):
+    elements = sorted(ground)
+    for r in range(len(elements) + 1):
+        for combo in itertools.combinations(elements, r):
+            yield frozenset(combo)
+
+
+def is_monotone(f: SetFunction, n_samples: int = 200, rng=None) -> bool:
+    """Check ``S ⊆ T ⇒ f(S) ≤ f(T)``.
+
+    Exhaustive when ``|ground| ≤ 12`` (checks every set against every
+    single-element extension, which implies full monotonicity); sampled
+    chains otherwise.
+    """
+    ground = f.ground_set
+    if len(ground) <= _EXHAUSTIVE_LIMIT:
+        for subset in _subsets(ground):
+            base = f(subset)
+            for x in ground - subset:
+                if f(subset | {x}) < base - _TOL:
+                    return False
+        return True
+    rng = as_generator(rng)
+    elements = sorted(ground)
+    for _ in range(n_samples):
+        size = int(rng.integers(0, len(elements)))
+        subset = frozenset(rng.choice(elements, size=size, replace=False).tolist())
+        extra = [x for x in elements if x not in subset]
+        x = extra[int(rng.integers(0, len(extra)))]
+        if f(subset | {x}) < f(subset) - _TOL:
+            return False
+    return True
+
+
+def is_submodular(f: SetFunction, n_samples: int = 200, rng=None) -> bool:
+    """Check diminishing returns ``f(x|T) ≤ f(x|S)`` for ``S ⊆ T``.
+
+    Exhaustive over the equivalent pairwise condition
+    ``f(x | S ∪ {y}) ≤ f(x | S)`` when the ground set is small.
+    """
+    ground = f.ground_set
+    if len(ground) <= _EXHAUSTIVE_LIMIT:
+        for subset in _subsets(ground):
+            rest = sorted(ground - subset)
+            for x, y in itertools.permutations(rest, 2):
+                if f.marginal(x, subset | {y}) > f.marginal(x, subset) + _TOL:
+                    return False
+        return True
+    rng = as_generator(rng)
+    elements = sorted(ground)
+    for _ in range(n_samples):
+        size = int(rng.integers(0, len(elements) - 1))
+        subset = frozenset(rng.choice(elements, size=size, replace=False).tolist())
+        rest = [e for e in elements if e not in subset]
+        x, y = rng.choice(rest, size=2, replace=False).tolist()
+        if f.marginal(x, subset | {y}) > f.marginal(x, subset) + _TOL:
+            return False
+    return True
+
+
+def total_curvature(f: SetFunction) -> float:
+    """``κ_f`` over the whole ground set (Definition 4)."""
+    return set_curvature(f, f.ground_set)
+
+
+def set_curvature(f: SetFunction, subset) -> float:
+    """``κ_f(S)``; elements with ``f({j}) = 0`` are skipped (0/0 → modular)."""
+    subset = frozenset(int(x) for x in subset)
+    if not subset:
+        return 0.0
+    worst = 1.0
+    seen_any = False
+    for j in subset:
+        singleton = f(frozenset({j}))
+        if singleton <= _TOL:
+            continue
+        seen_any = True
+        ratio = f.marginal(j, subset - {j}) / singleton
+        worst = min(worst, ratio)
+    if not seen_any:
+        return 0.0
+    return float(np.clip(1.0 - worst, 0.0, 1.0))
+
+
+def average_curvature(f: SetFunction, subset) -> float:
+    """``κ̂_f(S)`` (Iyer et al.)."""
+    subset = frozenset(int(x) for x in subset)
+    if not subset:
+        return 0.0
+    marginal_sum = sum(f.marginal(j, subset - {j}) for j in subset)
+    singleton_sum = sum(f(frozenset({j})) for j in subset)
+    if singleton_sum <= _TOL:
+        return 0.0
+    return float(np.clip(1.0 - marginal_sum / singleton_sum, 0.0, 1.0))

@@ -1,0 +1,96 @@
+"""Reference greedy maximization over an independence system.
+
+Conforti & Cornuéjols' analysis (the source of Theorem 2's bound) is for
+the plain greedy on an arbitrary independence system: repeatedly add the
+feasible element of maximum marginal value.  This module implements that
+algorithm — and its cost-ratio variant — against *abstract* oracles, as a
+cross-check for the specialized RM implementations in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.submodular.functions import SetFunction
+
+
+def greedy_independence_system(
+    f: SetFunction,
+    is_independent: Callable[[frozenset], bool],
+    *,
+    ratio_denominator: SetFunction | None = None,
+    tie_break: Callable[[int], float] | None = None,
+) -> tuple[frozenset, list[int]]:
+    """Greedy maximization of *f* subject to an independence oracle.
+
+    Parameters
+    ----------
+    f:
+        Monotone objective.
+    is_independent:
+        Feasibility oracle over subsets of ``f.ground_set``; must accept
+        the empty set and be downward-closed for the classic guarantees
+        to apply (not enforced here).
+    ratio_denominator:
+        When given, elements are ranked by ``f(x|S) / g(x|S)`` (the
+        cost-sensitive rule of CS-GREEDY) instead of raw marginals.
+    tie_break:
+        Optional secondary key; larger wins among equal primaries.
+
+    Returns
+    -------
+    (solution, order):
+        The greedy set and the order elements were added in.
+
+    Infeasible elements are removed from the candidate pool permanently,
+    mirroring lines 11–12 of Algorithm 1.
+    """
+    solution: frozenset = frozenset()
+    order: list[int] = []
+    candidates = set(f.ground_set)
+    while candidates:
+        best_x = None
+        best_key: tuple[float, float] | None = None
+        for x in candidates:
+            gain = f.marginal(x, solution)
+            if ratio_denominator is not None:
+                denom = ratio_denominator.marginal(x, solution)
+                primary = gain / denom if denom > 0 else float("inf")
+            else:
+                primary = gain
+            secondary = tie_break(x) if tie_break is not None else 0.0
+            key = (primary, secondary)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_x = x
+        assert best_x is not None
+        if is_independent(solution | {best_x}):
+            solution = solution | {best_x}
+            order.append(best_x)
+        candidates.discard(best_x)
+    return solution, order
+
+
+def exhaustive_maximum(
+    f: SetFunction,
+    is_independent: Callable[[frozenset], bool],
+    elements: Iterable[int] | None = None,
+) -> tuple[frozenset, float]:
+    """Brute-force optimum over all independent subsets (tiny ground sets)."""
+    import itertools
+
+    pool = sorted(elements if elements is not None else f.ground_set)
+    if len(pool) > 20:
+        raise ValueError(f"{len(pool)} elements is too many for exhaustive search")
+    best_set: frozenset = frozenset()
+    best_val = f(frozenset())
+    for r in range(1, len(pool) + 1):
+        for combo in itertools.combinations(pool, r):
+            subset = frozenset(combo)
+            if not is_independent(subset):
+                continue
+            val = f(subset)
+            if val > best_val:
+                best_val = val
+                best_set = subset
+    return best_set, best_val

@@ -1,0 +1,37 @@
+"""Topic model: ad topic distributions and topic-aware edge probabilities."""
+
+from repro.topics.distribution import (
+    TopicDistribution,
+    uniform_distribution,
+    single_topic,
+    random_distribution,
+    pure_competition_ads,
+)
+from repro.topics.edge_probs import (
+    TICModel,
+    weighted_cascade,
+    uniform_probabilities,
+    trivalency,
+    random_tic_model,
+)
+from repro.topics.learning import (
+    CascadeLog,
+    generate_cascade_log,
+    estimate_tic_model,
+)
+
+__all__ = [
+    "TopicDistribution",
+    "uniform_distribution",
+    "single_topic",
+    "random_distribution",
+    "pure_competition_ads",
+    "TICModel",
+    "weighted_cascade",
+    "uniform_probabilities",
+    "trivalency",
+    "random_tic_model",
+    "CascadeLog",
+    "generate_cascade_log",
+    "estimate_tic_model",
+]

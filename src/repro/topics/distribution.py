@@ -1,0 +1,127 @@
+"""Ad topic distributions over the latent topic space.
+
+The host maps each ad ``i`` to a distribution ``γ⃗_i`` with
+``γ^z_i = Pr(Z = z | i)`` and ``Σ_z γ^z_i = 1`` (Section 2).  The
+experiment setup in Section 5 arranges ads in *pure competition* pairs:
+two ads share a distribution putting 0.91 on one latent topic and 0.01 on
+each of the other nine (for L = 10), so every pair fights over the same
+influencers while distinct pairs live in disjoint topical markets.
+:func:`pure_competition_ads` reproduces that construction for any ``L``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.errors import TopicModelError
+
+
+class TopicDistribution:
+    """A validated probability vector over ``L`` latent topics."""
+
+    __slots__ = ("gamma",)
+
+    def __init__(self, gamma) -> None:
+        gamma = np.asarray(gamma, dtype=np.float64)
+        if gamma.ndim != 1 or gamma.size == 0:
+            raise TopicModelError("topic distribution must be a non-empty 1-D vector")
+        if np.any(gamma < -1e-12):
+            raise TopicModelError("topic probabilities must be non-negative")
+        total = gamma.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise TopicModelError(f"topic probabilities must sum to 1, got {total:.6f}")
+        self.gamma = np.clip(gamma, 0.0, None)
+        self.gamma = self.gamma / self.gamma.sum()
+
+    @property
+    def n_topics(self) -> int:
+        """Number of latent topics ``L``."""
+        return int(self.gamma.size)
+
+    def dominant_topic(self) -> int:
+        """Index of the highest-probability topic."""
+        return int(np.argmax(self.gamma))
+
+    def overlap(self, other: "TopicDistribution") -> float:
+        """Bhattacharyya-style overlap in ``[0, 1]``; 1 means identical support use."""
+        if self.n_topics != other.n_topics:
+            raise TopicModelError("cannot compare distributions over different L")
+        return float(np.sqrt(self.gamma * other.gamma).sum())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopicDistribution):
+            return NotImplemented
+        return np.allclose(self.gamma, other.gamma)
+
+    def __hash__(self) -> int:
+        return hash(np.round(self.gamma, 12).tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TopicDistribution({np.array2string(self.gamma, precision=3)})"
+
+
+def uniform_distribution(n_topics: int) -> TopicDistribution:
+    """The uniform distribution over ``n_topics`` topics."""
+    if n_topics < 1:
+        raise TopicModelError(f"need at least one topic, got {n_topics}")
+    return TopicDistribution(np.full(n_topics, 1.0 / n_topics))
+
+
+def single_topic(n_topics: int, topic: int) -> TopicDistribution:
+    """A point mass on *topic* (reduces TIC to per-topic IC)."""
+    if not 0 <= topic < n_topics:
+        raise TopicModelError(f"topic {topic} out of range [0, {n_topics})")
+    gamma = np.zeros(n_topics)
+    gamma[topic] = 1.0
+    return TopicDistribution(gamma)
+
+
+def random_distribution(n_topics: int, seed=None, concentration: float = 1.0) -> TopicDistribution:
+    """A Dirichlet(*concentration*) draw over ``n_topics`` topics."""
+    rng = as_generator(seed)
+    return TopicDistribution(rng.dirichlet(np.full(n_topics, concentration)))
+
+
+def peaked_distribution(n_topics: int, topic: int, peak: float = 0.91) -> TopicDistribution:
+    """Put *peak* mass on *topic* and spread the rest evenly (paper's 0.91/0.01)."""
+    if not 0 <= topic < n_topics:
+        raise TopicModelError(f"topic {topic} out of range [0, {n_topics})")
+    if not 0.0 < peak <= 1.0:
+        raise TopicModelError(f"peak must be in (0, 1], got {peak}")
+    if n_topics == 1:
+        return single_topic(1, 0)
+    gamma = np.full(n_topics, (1.0 - peak) / (n_topics - 1))
+    gamma[topic] = peak
+    return TopicDistribution(gamma)
+
+
+def pure_competition_ads(
+    n_ads: int,
+    n_topics: int = 10,
+    peak: float = 0.91,
+    seed=None,
+) -> list[TopicDistribution]:
+    """Topic distributions for *n_ads* ads arranged in pure-competition pairs.
+
+    Consecutive ads share a peaked distribution on a randomly chosen topic,
+    and distinct pairs use distinct topics (Section 5's FLIXSTER setup:
+    h = 10 ads from 5 distributions, every two ads in pure competition).
+    When ``n_ads`` is odd the final ad gets its own topic.
+    """
+    if n_ads < 1:
+        raise TopicModelError(f"need at least one ad, got {n_ads}")
+    n_pairs = (n_ads + 1) // 2
+    if n_pairs > n_topics:
+        raise TopicModelError(
+            f"{n_ads} ads need {n_pairs} distinct topics but only {n_topics} exist"
+        )
+    rng = as_generator(seed)
+    topics = rng.choice(n_topics, size=n_pairs, replace=False)
+    ads: list[TopicDistribution] = []
+    for pair_index in range(n_pairs):
+        dist = peaked_distribution(n_topics, int(topics[pair_index]), peak)
+        ads.append(dist)
+        if len(ads) < n_ads:
+            ads.append(dist)
+    return ads

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ads import Advertiser
+from repro.core.instance import RMInstance
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import build_dataset
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path_graph():
+    """0 -> 1 -> 2 -> 3."""
+    return DiGraph.from_edge_list([(0, 1), (1, 2), (2, 3)], n=4)
+
+
+@pytest.fixture
+def star_graph():
+    """Center 0 pointing at leaves 1..5."""
+    return DiGraph.from_edge_list([(0, i) for i in range(1, 6)], n=6)
+
+
+@pytest.fixture
+def diamond_graph():
+    """0 -> {1, 2} -> 3: two length-2 paths sharing endpoints."""
+    return DiGraph.from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3)], n=4)
+
+
+def make_tiny_instance(
+    probs_value: float = 1.0,
+    h: int = 2,
+    budgets=(10.0, 10.0),
+    cpes=(1.0, 1.0),
+) -> RMInstance:
+    """A 5-node, 2-ad instance small enough for the exact oracle.
+
+    Graph: 0 -> 1 -> 2, 3 -> 4 (a chain plus a separate edge).
+    """
+    graph = DiGraph.from_edge_list([(0, 1), (1, 2), (3, 4)], n=5)
+    probs = np.full(graph.m, probs_value)
+    advertisers = [
+        Advertiser(index=i, cpe=cpes[i], budget=budgets[i]) for i in range(h)
+    ]
+    incentives = [np.linspace(0.5, 1.5, graph.n) for _ in range(h)]
+    return RMInstance(graph, advertisers, [probs] * h, incentives)
+
+
+@pytest.fixture
+def tiny_instance():
+    """Deterministic (p = 1) two-ad instance for exact-oracle tests."""
+    return make_tiny_instance()
+
+
+@pytest.fixture(scope="session")
+def quick_dataset():
+    """A small FLIXSTER analog shared across experiment tests."""
+    return build_dataset("flixster_syn", n=400, h=4, singleton_rr_samples=1_500)
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """Cheap estimator settings for integration tests."""
+    return ExperimentConfig(eps=0.8, theta_cap=600, singleton_rr_samples=1_500, seed=3)

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_validates_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "epinions_syn", "--algorithm", "MAGIC"]
+            )
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("flixster_syn", "epinions_syn", "dblp_syn", "livejournal_syn"):
+            assert name in out
+
+    def test_tightness(self, capsys):
+        assert main(["tightness"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal revenue" in out
+        assert "6.00" in out  # OPT of the Figure-1 instance
+        assert "3.00" in out  # adversarial CA-GREEDY
+        assert "0.50" in out  # Theorem 2 bound
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "epinions_syn",
+                "--algorithm", "TI-CSRM",
+                "--incentives", "linear",
+                "--alpha", "1.0",
+                "--n", "300",
+                "--h", "3",
+                "--eps", "0.8",
+                "--theta-cap", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TI-CSRM" in out
+        assert "revenue" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dataset", "epinions_syn",
+                "--models", "constant",
+                "--algorithms", "TI-CSRM", "TI-CARM",
+                "--n", "300",
+                "--h", "3",
+                "--eps", "0.8",
+                "--theta-cap", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TI-CSRM" in out and "TI-CARM" in out
+        assert "constant" in out
+
+    def test_table2(self, capsys):
+        code = main(["table", "--which", "2", "--n", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget mean" in out
+
+    def test_table1(self, capsys):
+        code = main(["table", "--which", "1", "--n", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#nodes" in out
+        assert "livejournal_syn" in out

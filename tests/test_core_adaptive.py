@@ -1,0 +1,110 @@
+"""Tests for the adaptive multi-window campaign (future work iv)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveCampaign, run_adaptive_campaign
+from repro.errors import InstanceError
+from tests.conftest import make_tiny_instance
+
+
+PLANNER = dict(eps=0.8, theta_cap=300, opt_lower=3.0)
+
+
+def build_instance(budget=12.0, h=2):
+    return make_tiny_instance(budgets=(budget,) * h, h=h)
+
+
+class TestValidation:
+    def test_bad_windows(self):
+        with pytest.raises(InstanceError):
+            AdaptiveCampaign(build_instance(), n_windows=0)
+
+    def test_bad_split(self):
+        with pytest.raises(InstanceError):
+            AdaptiveCampaign(build_instance(), budget_split="weird")
+
+
+class TestCampaign:
+    def test_runs_and_reports_windows(self):
+        result = run_adaptive_campaign(
+            build_instance(), n_windows=3, planner_kwargs=PLANNER, seed=1
+        )
+        assert 1 <= len(result.windows) <= 3
+        assert result.total_revenue >= 0.0
+
+    def test_budgets_never_overspent(self):
+        inst = build_instance(budget=8.0)
+        result = run_adaptive_campaign(
+            inst, n_windows=3, planner_kwargs=PLANNER, seed=2
+        )
+        spent = [0.0] * inst.h
+        for window in result.windows:
+            for i in range(inst.h):
+                spent[i] += window.realized_revenue[i] + window.incentives_paid[i]
+        for i in range(inst.h):
+            assert spent[i] <= inst.budget(i) + 1e-6
+            assert result.windows[-1].remaining_budgets[i] >= -1e-9
+
+    def test_no_user_seeds_twice_across_windows(self):
+        result = run_adaptive_campaign(
+            build_instance(budget=15.0), n_windows=4, planner_kwargs=PLANNER, seed=3
+        )
+        seen: set[int] = set()
+        for window in result.windows:
+            for seeds in window.seeds_per_ad:
+                for u in seeds:
+                    assert u not in seen, f"user {u} seeded twice"
+                    seen.add(u)
+
+    def test_revenue_accumulates_across_windows(self):
+        result = run_adaptive_campaign(
+            build_instance(budget=20.0), n_windows=3, planner_kwargs=PLANNER, seed=4
+        )
+        assert result.total_revenue == pytest.approx(
+            sum(w.total_revenue for w in result.windows)
+        )
+        per_ad = result.revenue_per_ad(2)
+        assert sum(per_ad) == pytest.approx(result.total_revenue)
+
+    def test_deterministic_under_seed(self):
+        a = run_adaptive_campaign(
+            build_instance(), n_windows=2, planner_kwargs=PLANNER, seed=5
+        )
+        b = run_adaptive_campaign(
+            build_instance(), n_windows=2, planner_kwargs=PLANNER, seed=5
+        )
+        assert a.total_revenue == pytest.approx(b.total_revenue)
+        assert [w.seeds_per_ad for w in a.windows] == [
+            w.seeds_per_ad for w in b.windows
+        ]
+
+    def test_budget_split_modes(self):
+        for split in ("even", "all"):
+            result = run_adaptive_campaign(
+                build_instance(),
+                n_windows=2,
+                planner_kwargs=PLANNER,
+                budget_split=split,
+                seed=6,
+            )
+            assert result.windows
+
+    def test_single_window_equals_one_shot_frame(self):
+        """T = 1 with 'all' split plans against the full budget once."""
+        inst = build_instance(budget=10.0)
+        result = run_adaptive_campaign(
+            inst, n_windows=1, planner_kwargs=PLANNER, budget_split="all", seed=7
+        )
+        assert len(result.windows) == 1
+
+    def test_frozen_users_do_not_reengage(self):
+        """A user engaged in window 1 contributes no revenue later."""
+        inst = build_instance(budget=30.0)
+        result = run_adaptive_campaign(
+            inst, n_windows=3, planner_kwargs=PLANNER, seed=8
+        )
+        # Total realized engag. value never exceeds cpe * n per ad.
+        per_ad = result.revenue_per_ad(inst.h)
+        for i in range(inst.h):
+            assert per_ad[i] <= inst.cpe(i) * inst.n + 1e-9

@@ -1,0 +1,98 @@
+"""Tests for Advertiser and RMInstance validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ads import Advertiser
+from repro.core.instance import RMInstance
+from repro.errors import InstanceError
+from repro.graph.digraph import DiGraph
+
+
+class TestAdvertiser:
+    def test_valid(self):
+        adv = Advertiser(index=0, cpe=1.5, budget=100.0)
+        assert adv.name == "ad-0"
+        assert adv.engagements_affordable() == pytest.approx(100.0 / 1.5)
+
+    def test_custom_name(self):
+        assert Advertiser(index=1, cpe=1.0, budget=5.0, name="nike").name == "nike"
+
+    def test_validation(self):
+        with pytest.raises(InstanceError):
+            Advertiser(index=-1, cpe=1.0, budget=1.0)
+        with pytest.raises(InstanceError):
+            Advertiser(index=0, cpe=0.0, budget=1.0)
+        with pytest.raises(InstanceError):
+            Advertiser(index=0, cpe=1.0, budget=-2.0)
+
+
+def _graph():
+    return DiGraph.from_edge_list([(0, 1), (1, 2)], n=3)
+
+
+def _make(budgets=(10.0,), incentive_rows=None, probs_value=0.5):
+    g = _graph()
+    h = len(budgets)
+    advertisers = [Advertiser(index=i, cpe=1.0, budget=budgets[i]) for i in range(h)]
+    probs = [np.full(g.m, probs_value)] * h
+    if incentive_rows is None:
+        incentive_rows = [np.ones(g.n)] * h
+    return RMInstance(g, advertisers, probs, incentive_rows)
+
+
+class TestRMInstance:
+    def test_valid_instance(self):
+        inst = _make(budgets=(10.0, 20.0))
+        assert inst.h == 2
+        assert inst.n == 3
+        assert inst.cpe(0) == 1.0
+        assert inst.budget(1) == 20.0
+
+    def test_seeding_cost_is_modular(self):
+        inst = _make(incentive_rows=[np.array([1.0, 2.0, 4.0])])
+        assert inst.seeding_cost(0, [0, 2]) == 5.0
+        assert inst.seeding_cost(0, []) == 0.0
+
+    def test_incentive_accessors(self):
+        inst = _make(incentive_rows=[np.array([1.0, 2.0, 4.0])])
+        assert inst.incentive(0, 2) == 4.0
+        assert inst.max_incentive(0) == 4.0
+
+    def test_no_advertisers_rejected(self):
+        g = _graph()
+        with pytest.raises(InstanceError):
+            RMInstance(g, [], [], [])
+
+    def test_misindexed_advertisers_rejected(self):
+        g = _graph()
+        advs = [Advertiser(index=3, cpe=1.0, budget=1.0)]
+        with pytest.raises(InstanceError):
+            RMInstance(g, advs, [np.zeros(g.m)], [np.zeros(g.n)])
+
+    def test_wrong_prob_shape_rejected(self):
+        g = _graph()
+        advs = [Advertiser(index=0, cpe=1.0, budget=1.0)]
+        with pytest.raises(InstanceError):
+            RMInstance(g, advs, [np.zeros(g.m + 1)], [np.zeros(g.n)])
+
+    def test_prob_range_checked(self):
+        g = _graph()
+        advs = [Advertiser(index=0, cpe=1.0, budget=1.0)]
+        with pytest.raises(InstanceError):
+            RMInstance(g, advs, [np.full(g.m, 1.5)], [np.zeros(g.n)])
+
+    def test_negative_incentives_rejected(self):
+        with pytest.raises(InstanceError):
+            _make(incentive_rows=[np.array([-1.0, 0.0, 0.0])])
+
+    def test_degenerate_budget_rejected(self):
+        # Every node's incentive exceeds the budget: no affordable seed.
+        with pytest.raises(InstanceError):
+            _make(budgets=(0.5,), incentive_rows=[np.array([1.0, 2.0, 3.0])])
+
+    def test_mismatched_lengths_rejected(self):
+        g = _graph()
+        advs = [Advertiser(index=0, cpe=1.0, budget=1.0)]
+        with pytest.raises(InstanceError):
+            RMInstance(g, advs, [], [np.zeros(g.n)])

@@ -1,0 +1,83 @@
+"""Tests for allocations and result objects."""
+
+import pytest
+
+from repro.core.allocation import Allocation, AllocationResult
+from repro.errors import AllocationError
+
+
+class TestAllocation:
+    def test_add_and_query(self):
+        alloc = Allocation(2)
+        alloc.add(3, 0)
+        alloc.add(5, 1)
+        assert alloc.is_assigned(3)
+        assert alloc.owner_of(5) == 1
+        assert alloc.owner_of(7) is None
+        assert alloc.seeds(0) == [3]
+        assert alloc.total_seeds == 2
+
+    def test_disjointness_enforced(self):
+        alloc = Allocation(2)
+        alloc.add(3, 0)
+        with pytest.raises(AllocationError):
+            alloc.add(3, 1)
+        with pytest.raises(AllocationError):
+            alloc.add(3, 0)
+
+    def test_insertion_order_preserved(self):
+        alloc = Allocation(1)
+        for node in (9, 2, 7):
+            alloc.add(node, 0)
+        assert alloc.seeds(0) == [9, 2, 7]
+
+    def test_pairs_view(self):
+        alloc = Allocation(2)
+        alloc.add(1, 0)
+        alloc.add(2, 1)
+        assert set(alloc.pairs()) == {(1, 0), (2, 1)}
+
+    def test_bad_indices(self):
+        alloc = Allocation(2)
+        with pytest.raises(AllocationError):
+            alloc.add(0, 5)
+        with pytest.raises(AllocationError):
+            alloc.seeds(-1)
+        with pytest.raises(AllocationError):
+            Allocation(0)
+
+    def test_seed_sets_copies(self):
+        alloc = Allocation(1)
+        alloc.add(0, 0)
+        sets = alloc.seed_sets()
+        sets[0].append(99)
+        assert alloc.seeds(0) == [0]
+
+
+class TestAllocationResult:
+    def _result(self):
+        alloc = Allocation(2)
+        alloc.add(0, 0)
+        alloc.add(1, 1)
+        return AllocationResult(
+            allocation=alloc,
+            revenue_per_ad=[10.0, 20.0],
+            seeding_cost_per_ad=[1.0, 2.0],
+            algorithm="TEST",
+            runtime_seconds=0.5,
+        )
+
+    def test_totals(self):
+        res = self._result()
+        assert res.total_revenue == 30.0
+        assert res.total_seeding_cost == 3.0
+        assert res.total_seeds == 2
+
+    def test_payments(self):
+        res = self._result()
+        assert res.payment_per_ad == [11.0, 22.0]
+
+    def test_summary_contains_key_figures(self):
+        text = self._result().summary()
+        assert "TEST" in text
+        assert "30.0" in text

@@ -1,0 +1,239 @@
+"""Theorems 2–4 bound calculators and the Figure 1 tightness instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    fnw_matroid_floor,
+    theorem2_bound,
+    theorem2_counterexample,
+    theorem2_exponential_bound,
+    theorem3_bound,
+    theorem4_additive_deterioration,
+    tightness_instance,
+    worst_case_floor,
+)
+from repro.core.curvature import (
+    total_revenue_curvature,
+    payment_curvature,
+    singleton_payment_extremes,
+)
+from repro.core.greedy import ca_greedy, cs_greedy, exhaustive_optimum
+from repro.core.independence import lower_upper_rank
+from repro.core.oracles import ExactOracle
+from repro.errors import InstanceError
+
+
+class TestTheorem2:
+    def test_tight_value(self):
+        assert theorem2_bound(1.0, 1, 2) == pytest.approx(0.5)
+
+    def test_matroid_case_recovers_1_minus_e_kappa(self):
+        # r = R: bound -> (1/k)(1 - ((R-k)/R)^R) >= (1/k)(1 - e^-k).
+        for kappa in (0.3, 0.7, 1.0):
+            b = theorem2_bound(kappa, 10, 10)
+            assert b >= (1 / kappa) * (1 - np.exp(-kappa)) - 1e-9
+
+    def test_kappa_zero_limit(self):
+        assert theorem2_bound(0.0, 3, 5) == pytest.approx(3 / 5)
+        # Continuity at the limit.
+        assert theorem2_bound(1e-13, 3, 5) == pytest.approx(3 / 5, rel=1e-6)
+
+    def test_dominates_exponential_relaxation(self):
+        for kappa, r, R in [(0.5, 2, 4), (1.0, 3, 7), (0.2, 5, 5)]:
+            assert theorem2_bound(kappa, r, R) >= theorem2_exponential_bound(
+                kappa, r, R
+            ) - 1e-12
+
+    def test_floor_1_over_R(self):
+        for kappa, r, R in [(0.5, 1, 4), (1.0, 2, 8), (0.9, 1, 2)]:
+            assert theorem2_bound(kappa, r, R) >= worst_case_floor(R) - 1e-12
+
+    def test_improves_as_r_approaches_R(self):
+        values = [theorem2_bound(0.8, r, 6) for r in (1, 3, 6)]
+        assert values[0] < values[1] < values[2]
+
+    def test_validation(self):
+        with pytest.raises(InstanceError):
+            theorem2_bound(1.5, 1, 2)
+        with pytest.raises(InstanceError):
+            theorem2_bound(0.5, 3, 2)
+        with pytest.raises(InstanceError):
+            worst_case_floor(0)
+
+    def test_zero_rank_gives_zero(self):
+        assert theorem2_bound(0.5, 0, 1) == 0.0
+
+
+class TestTheorem3:
+    def test_closed_form(self):
+        # 1 - R*pmax / (R*pmax + (1-k)*pmin)
+        value = theorem3_bound(0.5, 2, 4.0, 1.0)
+        assert value == pytest.approx(1 - 8.0 / (8.0 + 0.5))
+
+    def test_degenerate_at_curvature_one(self):
+        assert theorem3_bound(1.0, 2, 4.0, 1.0) == 0.0
+
+    def test_improves_as_payment_ratio_shrinks(self):
+        worse = theorem3_bound(0.2, 3, 10.0, 1.0)
+        better = theorem3_bound(0.2, 3, 2.0, 1.0)
+        assert better > worse
+
+    def test_validation(self):
+        with pytest.raises(InstanceError):
+            theorem3_bound(-0.1, 1, 1.0, 1.0)
+        with pytest.raises(InstanceError):
+            theorem3_bound(0.5, 0, 1.0, 1.0)
+        with pytest.raises(InstanceError):
+            theorem3_bound(0.5, 1, 1.0, 2.0)
+
+
+class TestTheorem4:
+    def test_additive_term(self):
+        loss = theorem4_additive_deterioration(0.1, [1.0, 2.0], [10.0, 5.0])
+        assert loss == pytest.approx(0.1 * (10.0 + 10.0))
+
+    def test_validation(self):
+        with pytest.raises(InstanceError):
+            theorem4_additive_deterioration(0.0, [1.0], [1.0])
+        with pytest.raises(InstanceError):
+            theorem4_additive_deterioration(0.1, [1.0], [1.0, 2.0])
+
+
+class TestTheorem2Counterexample:
+    """Reproduction finding: the literal Theorem-2 formula is exceeded on
+    a 3-node matroid instance (see theorem2_counterexample docstring)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        instance, expected = theorem2_counterexample()
+        return instance, expected, ExactOracle(instance)
+
+    def test_optimum(self, setup):
+        instance, expected, oracle = setup
+        sets, opt = exhaustive_optimum(instance, oracle)
+        assert opt == pytest.approx(expected["optimal_revenue"])
+        assert set(sets[0]) == expected["optimal_seeds"]
+
+    def test_greedy_lands_in_trap_under_both_tie_breaks(self, setup):
+        instance, expected, oracle = setup
+        for tie in ("index", "cost"):
+            result = ca_greedy(instance, oracle, tie_break=tie)
+            assert result.total_revenue == pytest.approx(expected["greedy_revenue"])
+            assert set(result.allocation.seeds(0)) == expected["greedy_seeds"]
+
+    def test_ingredients(self, setup):
+        instance, expected, oracle = setup
+        assert total_revenue_curvature(instance, oracle) == pytest.approx(
+            expected["kappa_pi"]
+        )
+
+        def is_indep(subset):
+            return oracle.payment(0, subset) <= instance.budget(0) + 1e-9
+
+        r, R = lower_upper_rank(range(instance.n), is_indep)
+        assert (r, R) == (expected["lower_rank"], expected["upper_rank"])
+
+    def test_formula_exceeded_but_floor_holds(self, setup):
+        instance, expected, oracle = setup
+        formula = theorem2_bound(
+            expected["kappa_pi"], expected["lower_rank"], expected["upper_rank"]
+        )
+        assert formula == pytest.approx(expected["theorem2_formula_value"])
+        ratio = expected["greedy_revenue"] / expected["optimal_revenue"]
+        assert ratio == pytest.approx(expected["observed_ratio"])
+        # The documented finding: ratio strictly below the formula...
+        assert ratio < formula
+        # ...but at or above the empirically safe floor 1/(R+1).
+        assert ratio >= 1.0 / (expected["upper_rank"] + 1)
+
+    def test_cs_greedy_escapes_the_trap(self, setup):
+        instance, expected, oracle = setup
+        result = cs_greedy(instance, oracle)
+        assert result.total_revenue == pytest.approx(expected["optimal_revenue"])
+
+    def test_fnw_floor_is_matroid_only(self):
+        # Sanity on the helper itself.
+        assert fnw_matroid_floor(0.0) == 1.0
+        assert fnw_matroid_floor(1.0) == 0.5
+        with pytest.raises(InstanceError):
+            fnw_matroid_floor(1.5)
+
+
+class TestTightnessInstance:
+    """The Figure 1 instance reproduces Theorem 2's tightness exactly."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        instance, expected = tightness_instance()
+        oracle = ExactOracle(instance)
+        return instance, expected, oracle
+
+    def test_optimum(self, setup):
+        instance, expected, oracle = setup
+        sets, opt = exhaustive_optimum(instance, oracle)
+        assert opt == pytest.approx(expected["optimal_revenue"])
+        assert set(sets[0]) == expected["optimal_seeds"]
+
+    def test_adversarial_ca_greedy_achieves_half(self, setup):
+        instance, expected, oracle = setup
+        result = ca_greedy(instance, oracle, tie_break="cost")
+        assert result.total_revenue == pytest.approx(
+            expected["adversarial_greedy_revenue"]
+        )
+        assert set(result.allocation.seeds(0)) == expected["adversarial_greedy_seeds"]
+
+    def test_friendly_tie_break_is_optimal(self, setup):
+        instance, expected, oracle = setup
+        result = ca_greedy(instance, oracle, tie_break="index")
+        assert result.total_revenue == pytest.approx(expected["optimal_revenue"])
+
+    def test_cs_greedy_is_optimal_footnote9(self, setup):
+        instance, expected, oracle = setup
+        result = cs_greedy(instance, oracle)
+        assert result.total_revenue == pytest.approx(expected["optimal_revenue"])
+        assert set(result.allocation.seeds(0)) == expected["optimal_seeds"]
+
+    def test_ranks(self, setup):
+        instance, expected, oracle = setup
+
+        def is_indep(subset):
+            return oracle.payment(0, subset) <= instance.budget(0) + 1e-9
+
+        r, R = lower_upper_rank(range(instance.n), is_indep)
+        assert r == expected["lower_rank"]
+        assert R == expected["upper_rank"]
+
+    def test_curvature(self, setup):
+        instance, expected, oracle = setup
+        assert total_revenue_curvature(instance, oracle) == pytest.approx(
+            expected["kappa_pi"]
+        )
+
+    def test_bound_equals_observed_ratio(self, setup):
+        instance, expected, oracle = setup
+        bound = theorem2_bound(
+            expected["kappa_pi"], expected["lower_rank"], expected["upper_rank"]
+        )
+        assert bound == pytest.approx(expected["theorem2_bound"])
+        ratio = (
+            expected["adversarial_greedy_revenue"] / expected["optimal_revenue"]
+        )
+        assert ratio == pytest.approx(bound)
+
+    def test_payment_extremes(self, setup):
+        instance, expected, oracle = setup
+        rho_max, rho_min = singleton_payment_extremes(instance, oracle)
+        # b: spread 3 + cost 4 = 7; g (leaf): spread 1 + cost 3 = 4;
+        # a/c: 3 + 0.5 = 3.5.
+        assert rho_max == pytest.approx(7.0)
+        assert rho_min == pytest.approx(3.5)
+
+    def test_theorem3_bound_holds_on_instance(self, setup):
+        instance, expected, oracle = setup
+        kappa_rho = payment_curvature(instance, oracle, 0)
+        rho_max, rho_min = singleton_payment_extremes(instance, oracle)
+        bound = theorem3_bound(kappa_rho, expected["upper_rank"], rho_max, rho_min)
+        cs = cs_greedy(instance, oracle)
+        _, opt = exhaustive_optimum(instance, oracle)
+        assert cs.total_revenue >= bound * opt - 1e-9

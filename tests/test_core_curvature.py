@@ -1,0 +1,105 @@
+"""Tests for RM-specific curvature computations."""
+
+import numpy as np
+import pytest
+
+from repro.core.ads import Advertiser
+from repro.core.curvature import (
+    PaymentSetFunction,
+    RevenueSetFunction,
+    SpreadSetFunction,
+    max_payment_curvature,
+    payment_curvature,
+    singleton_payment_extremes,
+    total_revenue_curvature,
+)
+from repro.core.instance import RMInstance
+from repro.core.oracles import ExactOracle
+from repro.graph.digraph import DiGraph
+from repro.submodular.checks import is_monotone, is_submodular, total_curvature
+from tests.conftest import make_tiny_instance
+
+
+class TestSetFunctionAdapters:
+    def test_spread_function_monotone_submodular(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        f = SpreadSetFunction(ExactOracle(inst), ad=0)
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_revenue_scales_spread(self):
+        inst = make_tiny_instance(probs_value=1.0, cpes=(2.0, 1.0))
+        oracle = ExactOracle(inst)
+        spread = SpreadSetFunction(oracle, 0)
+        revenue = RevenueSetFunction(oracle, 0)
+        assert revenue({0}) == pytest.approx(2.0 * spread({0}))
+
+    def test_payment_adds_modular_costs(self):
+        inst = make_tiny_instance(probs_value=1.0)
+        oracle = ExactOracle(inst)
+        pay = PaymentSetFunction(oracle, 0)
+        rev = RevenueSetFunction(oracle, 0)
+        assert pay({0, 3}) == pytest.approx(
+            rev({0, 3}) + inst.seeding_cost(0, [0, 3])
+        )
+
+    def test_payment_monotone_submodular(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        f = PaymentSetFunction(ExactOracle(inst), 0)
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+
+class TestCurvatureValues:
+    def test_disconnected_graph_zero_curvature(self):
+        # No arcs: spread is modular (each seed contributes exactly itself).
+        g = DiGraph(4, [], [])
+        advs = [Advertiser(index=0, cpe=1.0, budget=10.0)]
+        inst = RMInstance(g, advs, [np.empty(0)], [np.ones(4)])
+        oracle = ExactOracle(inst)
+        assert total_revenue_curvature(inst, oracle) == 0.0
+        assert payment_curvature(inst, oracle, 0) == 0.0
+
+    def test_chain_graph_full_curvature(self):
+        # 0 -> 1 deterministic: pi(1 | {0}) = 0 while pi({1}) = 1.
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        advs = [Advertiser(index=0, cpe=1.0, budget=10.0)]
+        inst = RMInstance(g, advs, [np.ones(1)], [np.zeros(2)])
+        oracle = ExactOracle(inst)
+        assert total_revenue_curvature(inst, oracle) == pytest.approx(1.0)
+
+    def test_matches_generic_curvature(self):
+        inst = make_tiny_instance(probs_value=0.5, h=1, budgets=(10.0,))
+        oracle = ExactOracle(inst)
+        generic = total_curvature(RevenueSetFunction(oracle, 0))
+        specific = total_revenue_curvature(inst, oracle)
+        assert specific == pytest.approx(generic)
+
+    def test_payment_curvature_below_revenue_curvature(self):
+        """Adding a modular cost dilutes curvature: kappa_rho <= kappa_pi
+        when incentives are strictly positive."""
+        inst = make_tiny_instance(probs_value=1.0)
+        oracle = ExactOracle(inst)
+        k_pi = total_revenue_curvature(inst, oracle)
+        k_rho = payment_curvature(inst, oracle, 0)
+        assert k_rho <= k_pi + 1e-9
+
+    def test_max_payment_curvature(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        oracle = ExactOracle(inst)
+        per_ad = [payment_curvature(inst, oracle, i) for i in range(inst.h)]
+        assert max_payment_curvature(inst, oracle) == pytest.approx(max(per_ad))
+
+
+class TestPaymentExtremes:
+    def test_extremes_on_tiny_instance(self):
+        inst = make_tiny_instance(probs_value=1.0, h=1, budgets=(10.0,))
+        oracle = ExactOracle(inst)
+        rho_max, rho_min = singleton_payment_extremes(inst, oracle)
+        # Singleton payments: sigma + cost with costs linspace(0.5, 1.5).
+        payments = [
+            oracle.spread(0, {u}) + inst.incentive(0, u) for u in range(inst.n)
+        ]
+        assert rho_max == pytest.approx(max(payments))
+        assert rho_min == pytest.approx(min(payments))
+        assert rho_max >= rho_min

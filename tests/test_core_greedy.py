@@ -1,0 +1,125 @@
+"""Tests for the reference CA-GREEDY / CS-GREEDY algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.ads import Advertiser
+from repro.core.greedy import ca_greedy, cs_greedy, exhaustive_optimum
+from repro.core.instance import RMInstance
+from repro.core.oracles import ExactOracle
+from repro.errors import AllocationError
+from repro.graph.digraph import DiGraph
+from tests.conftest import make_tiny_instance
+
+
+class TestCAGreedy:
+    def test_respects_budgets(self):
+        inst = make_tiny_instance(budgets=(3.6, 3.6))
+        oracle = ExactOracle(inst)
+        result = ca_greedy(inst, oracle)
+        for i in range(inst.h):
+            assert oracle.payment(i, result.allocation.seeds(i)) <= inst.budget(i) + 1e-9
+
+    def test_disjoint_seed_sets(self):
+        inst = make_tiny_instance(budgets=(20.0, 20.0))
+        result = ca_greedy(inst, ExactOracle(inst))
+        pairs = result.allocation.pairs()
+        nodes = [n for n, _ in pairs]
+        assert len(nodes) == len(set(nodes))
+
+    def test_picks_max_spread_first(self):
+        inst = make_tiny_instance(budgets=(100.0, 100.0))
+        result = ca_greedy(inst, ExactOracle(inst))
+        # Node 0 has spread 3 (chain 0->1->2) and should be seeded first.
+        first_pairs = result.allocation.pairs()
+        assert (0, 0) in first_pairs or (0, 1) in first_pairs
+
+    def test_unknown_tie_break_rejected(self):
+        inst = make_tiny_instance()
+        with pytest.raises(AllocationError):
+            ca_greedy(inst, ExactOracle(inst), tie_break="bogus")
+
+    def test_single_ad_matches_im_greedy(self):
+        # With one ad, huge budget, and zero costs, CA-GREEDY is classic
+        # greedy influence maximization: it should reach full spread.
+        g = DiGraph.from_edge_list([(0, 1), (1, 2), (3, 4)], n=5)
+        advs = [Advertiser(index=0, cpe=1.0, budget=100.0)]
+        inst = RMInstance(g, advs, [np.ones(g.m)], [np.zeros(g.n)])
+        result = ca_greedy(inst, ExactOracle(inst))
+        assert result.total_revenue == pytest.approx(5.0)
+
+
+class TestCSGreedy:
+    def test_prefers_efficient_seeds(self):
+        # Node 0: spread 3, cost 10. Node 3: spread 2, cost 0.1.
+        g = DiGraph.from_edge_list([(0, 1), (1, 2), (3, 4)], n=5)
+        advs = [Advertiser(index=0, cpe=1.0, budget=5.0)]
+        incentives = np.array([10.0, 0.1, 0.1, 0.1, 0.1])
+        inst = RMInstance(g, advs, [np.ones(g.m)], [incentives])
+        result = cs_greedy(inst, ExactOracle(inst))
+        assert 3 in result.allocation.seeds(0)
+        assert 0 not in result.allocation.seeds(0)
+
+    def test_budget_feasible(self):
+        inst = make_tiny_instance(budgets=(4.0, 4.0))
+        oracle = ExactOracle(inst)
+        result = cs_greedy(inst, oracle)
+        for i in range(inst.h):
+            assert oracle.payment(i, result.allocation.seeds(i)) <= inst.budget(i) + 1e-9
+
+    def test_zero_cost_nodes_handled(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        advs = [Advertiser(index=0, cpe=1.0, budget=10.0)]
+        inst = RMInstance(g, advs, [np.ones(g.m)], [np.zeros(g.n)])
+        result = cs_greedy(inst, ExactOracle(inst))
+        assert result.total_revenue == pytest.approx(2.0)
+
+
+class TestAgainstBruteForce:
+    def test_ca_reaches_brute_force_on_easy_instance(self):
+        inst = make_tiny_instance(budgets=(50.0, 50.0))
+        oracle = ExactOracle(inst)
+        _, opt = exhaustive_optimum(inst, oracle)
+        result = ca_greedy(inst, oracle)
+        assert result.total_revenue == pytest.approx(opt)
+
+    def test_cs_within_half_on_random_instances(self, rng):
+        """On tiny random instances both greedies stay within sane factors."""
+        for trial in range(5):
+            n = 5
+            edges = [(u, v) for u in range(n) for v in range(n)
+                     if u != v and rng.random() < 0.3]
+            g = DiGraph.from_edge_list(edges, n=n)
+            probs = np.ones(g.m)
+            budget = float(rng.uniform(4, 9))
+            advs = [Advertiser(index=0, cpe=1.0, budget=budget)]
+            incentives = rng.uniform(0.1, 2.0, size=n)
+            inst = RMInstance(g, advs, [probs], [incentives])
+            oracle = ExactOracle(inst)
+            _, opt = exhaustive_optimum(inst, oracle)
+            if opt == 0:
+                continue
+            ca = ca_greedy(inst, oracle).total_revenue
+            cs = cs_greedy(inst, oracle).total_revenue
+            assert ca >= 0.45 * opt
+            assert cs >= 0.3 * opt  # Thm 3 can be weak; sanity floor
+
+    def test_exhaustive_limit(self):
+        inst = make_tiny_instance()
+        with pytest.raises(AllocationError):
+            exhaustive_optimum(inst, ExactOracle(inst), max_assignments=5)
+
+
+class TestResultMetadata:
+    def test_algorithm_names(self):
+        inst = make_tiny_instance()
+        oracle = ExactOracle(inst)
+        assert ca_greedy(inst, oracle).algorithm == "CA-GREEDY"
+        assert cs_greedy(inst, oracle).algorithm == "CS-GREEDY"
+
+    def test_revenue_matches_oracle_totals(self):
+        inst = make_tiny_instance(budgets=(6.0, 6.0))
+        oracle = ExactOracle(inst)
+        result = ca_greedy(inst, oracle)
+        recomputed = oracle.total_revenue(result.allocation.seed_sets())
+        assert result.total_revenue == pytest.approx(recomputed)

@@ -1,0 +1,105 @@
+"""Tests for matroids, the RM independence system, and rank computation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.independence import (
+    PartitionMatroid,
+    allocation_pairs_independent,
+    lower_upper_rank,
+    maximal_independent_sets,
+    rm_partition_matroid,
+)
+from repro.errors import AllocationError
+
+
+class TestPartitionMatroid:
+    def test_membership(self):
+        # Two blocks {0,1} and {2,3} with capacities 1 and 2.
+        m = PartitionMatroid([0, 0, 1, 1], [1, 2])
+        assert m.is_independent([0, 2, 3])
+        assert not m.is_independent([0, 1])
+
+    def test_downward_closure(self):
+        m = PartitionMatroid([0, 0, 1], [1, 1])
+        for subset in ([0, 2], [0], [2], []):
+            assert m.is_independent(subset)
+
+    def test_augmentation_axiom_exhaustive(self):
+        """|Y| > |X| and both independent -> some element of Y extends X."""
+        m = PartitionMatroid([0, 0, 1, 1, 2], [1, 2, 1])
+        ground = range(5)
+        independents = [
+            set(c)
+            for r in range(6)
+            for c in itertools.combinations(ground, r)
+            if m.is_independent(c)
+        ]
+        for x in independents:
+            for y in independents:
+                if len(y) > len(x):
+                    assert any(m.is_independent(x | {e}) for e in y - x)
+
+    def test_rank(self):
+        m = PartitionMatroid([0, 0, 1, 1, 1], [1, 2])
+        assert m.rank() == 3
+
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            PartitionMatroid([0, 5], [1])
+        with pytest.raises(AllocationError):
+            PartitionMatroid([0], [-1])
+        m = PartitionMatroid([0], [1])
+        with pytest.raises(AllocationError):
+            m.is_independent([3])
+
+
+class TestRMMatroid:
+    def test_lemma1_structure(self):
+        """Pairs are independent iff no node repeats (Lemma 1)."""
+        m = rm_partition_matroid(n_nodes=3, n_ads=2)
+        # pair id = node * h + ad
+        def pid(node, ad):
+            return node * 2 + ad
+
+        assert m.is_independent([pid(0, 0), pid(1, 1)])
+        assert not m.is_independent([pid(0, 0), pid(0, 1)])
+        assert m.rank() == 3  # one pair per node
+
+    def test_pairs_helper(self):
+        assert allocation_pairs_independent([(0, 0), (1, 1), (2, 0)])
+        assert not allocation_pairs_independent([(0, 0), (0, 1)])
+        assert allocation_pairs_independent([])
+
+
+class TestRankComputation:
+    def test_uniform_matroid_ranks_equal(self):
+        is_indep = lambda s: len(s) <= 2
+        r, big_r = lower_upper_rank(range(4), is_indep)
+        assert r == big_r == 2
+
+    def test_knapsack_rank_gap(self):
+        # Weights 3, 1, 1, 1 with capacity 3: maximal sets {0} and {1,2,3}.
+        weights = [3.0, 1.0, 1.0, 1.0]
+        is_indep = lambda s: sum(weights[x] for x in s) <= 3.0
+        r, big_r = lower_upper_rank(range(4), is_indep)
+        assert (r, big_r) == (1, 3)
+
+    def test_maximal_sets_found(self):
+        weights = [2.0, 2.0, 3.0]
+        is_indep = lambda s: sum(weights[x] for x in s) <= 4.0
+        maximal = maximal_independent_sets(range(3), is_indep)
+        assert frozenset({0, 1}) in maximal
+        assert frozenset({2}) in maximal
+        # {0} is not maximal: {0,1} extends it.
+        assert frozenset({0}) not in maximal
+
+    def test_empty_system(self):
+        r, big_r = lower_upper_rank(range(3), lambda s: len(s) == 0)
+        assert (r, big_r) == (0, 0)
+
+    def test_ground_limit_enforced(self):
+        with pytest.raises(AllocationError):
+            maximal_independent_sets(range(30), lambda s: True)

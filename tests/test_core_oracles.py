@@ -1,0 +1,103 @@
+"""Tests for the spread oracles (exact, Monte-Carlo, static RR)."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracles import ExactOracle, MonteCarloOracle, RRStaticOracle
+from repro.errors import EstimationError
+from tests.conftest import make_tiny_instance
+
+
+class TestExactOracle:
+    def test_deterministic_values(self, tiny_instance):
+        oracle = ExactOracle(tiny_instance)
+        # Graph 0->1->2, 3->4 with p = 1.
+        assert oracle.spread(0, {0}) == pytest.approx(3.0)
+        assert oracle.spread(0, {3}) == pytest.approx(2.0)
+        assert oracle.spread(0, {0, 3}) == pytest.approx(5.0)
+
+    def test_empty_set(self, tiny_instance):
+        assert ExactOracle(tiny_instance).spread(0, set()) == 0.0
+
+    def test_bad_ad_index(self, tiny_instance):
+        with pytest.raises(EstimationError):
+            ExactOracle(tiny_instance).spread(5, {0})
+
+    def test_marginals(self, tiny_instance):
+        oracle = ExactOracle(tiny_instance)
+        assert oracle.marginal_spread(0, 3, {0}) == pytest.approx(2.0)
+        assert oracle.marginal_spread(0, 1, {0}) == pytest.approx(0.0)
+        assert oracle.marginal_spread(0, 0, {0}) == 0.0  # already a seed
+
+    def test_revenue_and_payment(self):
+        inst = make_tiny_instance(cpes=(2.0, 1.0))
+        oracle = ExactOracle(inst)
+        assert oracle.revenue(0, {0}) == pytest.approx(6.0)
+        # payment = revenue + incentives (linspace 0.5..1.5 over 5 nodes).
+        assert oracle.payment(0, {0}) == pytest.approx(6.0 + 0.5)
+        assert oracle.marginal_payment(0, 3, {0}) == pytest.approx(
+            2.0 * 2.0 + inst.incentive(0, 3)
+        )
+
+    def test_total_revenue(self, tiny_instance):
+        oracle = ExactOracle(tiny_instance)
+        total = oracle.total_revenue([[0], [3]])
+        assert total == pytest.approx(3.0 + 2.0)
+
+    def test_cache_hit_consistency(self, tiny_instance):
+        oracle = ExactOracle(tiny_instance)
+        a = oracle.spread(0, {0, 3})
+        b = oracle.spread(0, {3, 0})
+        assert a == b
+
+
+class TestMonteCarloOracle:
+    def test_close_to_exact(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        exact = ExactOracle(inst)
+        mc = MonteCarloOracle(inst, n_runs=4000, seed=0)
+        for seeds in ({0}, {1}, {0, 3}):
+            assert mc.spread(0, seeds) == pytest.approx(
+                exact.spread(0, seeds), rel=0.08
+            )
+
+    def test_order_independent_estimates(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        a = MonteCarloOracle(inst, n_runs=50, seed=1)
+        b = MonteCarloOracle(inst, n_runs=50, seed=1)
+        # Evaluate in different orders; per-query streams must agree.
+        a.spread(0, {1})
+        va = a.spread(0, {0})
+        vb = b.spread(0, {0})
+        assert va == vb
+
+    def test_run_validation(self):
+        inst = make_tiny_instance()
+        with pytest.raises(EstimationError):
+            MonteCarloOracle(inst, n_runs=0)
+
+    def test_marginal_clipped_nonnegative(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        mc = MonteCarloOracle(inst, n_runs=30, seed=2)
+        for u in range(inst.n):
+            assert mc.marginal_spread(0, u, {0}) >= 0.0
+
+
+class TestRRStaticOracle:
+    def test_close_to_exact(self):
+        inst = make_tiny_instance(probs_value=0.5)
+        exact = ExactOracle(inst)
+        rr = RRStaticOracle(inst, n_samples=30000, seed=3)
+        for seeds in ({0}, {2}, {0, 3}):
+            assert rr.spread(0, seeds) == pytest.approx(
+                exact.spread(0, seeds), rel=0.08
+            )
+
+    def test_sample_validation(self):
+        with pytest.raises(EstimationError):
+            RRStaticOracle(make_tiny_instance(), n_samples=0)
+
+    def test_monotone_in_seeds(self):
+        inst = make_tiny_instance(probs_value=0.7)
+        rr = RRStaticOracle(inst, n_samples=2000, seed=4)
+        assert rr.spread(0, {0, 1}) >= rr.spread(0, {0})

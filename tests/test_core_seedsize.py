@@ -1,0 +1,58 @@
+"""Tests for the latent seed-set size estimation (Eq. 10)."""
+
+import pytest
+
+from repro.core.seedsize import next_seed_size
+from repro.errors import EstimationError
+
+
+class TestNextSeedSize:
+    def test_exact_formula(self):
+        # s + floor((B - rho) / (c_max + cpe * n * F_max))
+        value = next_seed_size(
+            current=2,
+            budget=100.0,
+            payment_so_far=40.0,
+            max_incentive=5.0,
+            cpe=1.0,
+            n_nodes=100,
+            max_residual_fraction=0.05,
+        )
+        # denominator = 5 + 1*100*0.05 = 10; floor(60/10) = 6.
+        assert value == 8
+
+    def test_zero_increment_when_budget_tight(self):
+        value = next_seed_size(3, 50.0, 49.0, 5.0, 1.0, 100, 0.05)
+        assert value == 3
+
+    def test_exhausted_budget_returns_current(self):
+        assert next_seed_size(4, 10.0, 10.0, 1.0, 1.0, 50, 0.1) == 4
+        assert next_seed_size(4, 10.0, 12.0, 1.0, 1.0, 50, 0.1) == 4
+
+    def test_never_decreases(self):
+        for payment in (0.0, 5.0, 9.9):
+            assert next_seed_size(2, 10.0, payment, 1.0, 1.0, 10, 0.1) >= 2
+
+    def test_capped_at_n(self):
+        assert next_seed_size(1, 1e9, 0.0, 0.001, 1.0, 20, 0.0001) == 20
+
+    def test_free_zero_gain_seeds_cap_at_n(self):
+        assert next_seed_size(1, 10.0, 0.0, 0.0, 1.0, 30, 0.0) == 30
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(EstimationError):
+            next_seed_size(-1, 10.0, 0.0, 1.0, 1.0, 10, 0.1)
+
+    def test_conservative_never_overestimates(self):
+        """The increment uses the max possible per-seed payment, so
+        increment * denominator never exceeds the leftover budget."""
+        cases = [
+            (1, 100.0, 10.0, 2.0, 1.5, 50, 0.2),
+            (5, 1000.0, 500.0, 10.0, 2.0, 200, 0.01),
+            (2, 33.3, 3.3, 0.5, 1.0, 77, 0.09),
+        ]
+        for current, budget, paid, c_max, cpe, n, f_max in cases:
+            s_new = next_seed_size(current, budget, paid, c_max, cpe, n, f_max)
+            increment = s_new - current
+            denom = c_max + cpe * n * f_max
+            assert increment * denom <= (budget - paid) + 1e-9

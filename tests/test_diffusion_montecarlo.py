@@ -1,0 +1,90 @@
+"""Monte-Carlo and RR singleton estimators against exact ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.diffusion.montecarlo import (
+    degree_proxy_spreads,
+    estimate_singleton_spreads,
+    estimate_singleton_spreads_rr,
+    estimate_spread,
+)
+from repro.diffusion.worlds import exact_singleton_spreads, exact_spread
+from repro.graph.generators import erdos_renyi
+
+
+class TestEstimateSpread:
+    def test_matches_exact_on_chain(self, path_graph):
+        probs = np.full(path_graph.m, 0.5)
+        exact = exact_spread(path_graph, probs, [0])
+        mc = estimate_spread(path_graph, probs, [0], n_runs=4000, rng=1)
+        assert mc == pytest.approx(exact, rel=0.08)
+
+    def test_matches_exact_on_diamond(self, diamond_graph):
+        probs = np.full(diamond_graph.m, 0.6)
+        exact = exact_spread(diamond_graph, probs, [0])
+        mc = estimate_spread(diamond_graph, probs, [0], n_runs=4000, rng=2)
+        assert mc == pytest.approx(exact, rel=0.08)
+
+    def test_empty_seed_set_is_zero(self, path_graph):
+        assert estimate_spread(path_graph, np.ones(path_graph.m), [], n_runs=10) == 0.0
+
+    def test_rejects_nonpositive_runs(self, path_graph):
+        with pytest.raises(EstimationError):
+            estimate_spread(path_graph, np.ones(path_graph.m), [0], n_runs=0)
+
+    def test_deterministic_graph_has_zero_variance(self, path_graph):
+        mc = estimate_spread(path_graph, np.ones(path_graph.m), [0], n_runs=5)
+        assert mc == 4.0
+
+
+class TestSingletonEstimators:
+    def test_mc_matches_exact(self, diamond_graph):
+        probs = np.full(diamond_graph.m, 0.5)
+        exact = exact_singleton_spreads(diamond_graph, probs)
+        mc = estimate_singleton_spreads(diamond_graph, probs, n_runs=3000, rng=3)
+        assert np.allclose(mc, exact, rtol=0.1)
+
+    def test_mc_restricted_nodes(self, diamond_graph):
+        probs = np.full(diamond_graph.m, 0.5)
+        partial = estimate_singleton_spreads(
+            diamond_graph, probs, n_runs=100, rng=4, nodes=[0]
+        )
+        assert partial[0] > 0
+        assert partial[1] == 0.0
+
+    def test_rr_matches_exact(self, diamond_graph):
+        probs = np.full(diamond_graph.m, 0.5)
+        exact = exact_singleton_spreads(diamond_graph, probs)
+        rr = estimate_singleton_spreads_rr(diamond_graph, probs, n_samples=20000, rng=5)
+        assert np.allclose(rr, exact, rtol=0.1)
+
+    def test_rr_and_mc_agree_on_random_graph(self):
+        g = erdos_renyi(40, 0.1, seed=6)
+        probs = np.full(g.m, 0.3)
+        mc = estimate_singleton_spreads(g, probs, n_runs=800, rng=7)
+        rr = estimate_singleton_spreads_rr(g, probs, n_samples=20000, rng=8)
+        # Compare the top node and the overall scale.
+        assert rr.sum() == pytest.approx(mc.sum(), rel=0.15)
+        assert abs(int(rr.argmax()) - int(mc.argmax())) == 0 or (
+            rr[mc.argmax()] >= 0.8 * rr.max()
+        )
+
+    def test_rr_floors_at_one(self, path_graph):
+        rr = estimate_singleton_spreads_rr(path_graph, np.zeros(path_graph.m), n_samples=50, rng=9)
+        assert (rr >= 1.0).all()
+
+    def test_rr_rejects_nonpositive_samples(self, path_graph):
+        with pytest.raises(EstimationError):
+            estimate_singleton_spreads_rr(path_graph, np.ones(path_graph.m), n_samples=0)
+
+
+class TestDegreeProxy:
+    def test_values(self, star_graph):
+        proxy = degree_proxy_spreads(star_graph)
+        assert proxy[0] == 6.0
+        assert proxy[1] == 1.0
+
+    def test_always_at_least_one(self, path_graph):
+        assert (degree_proxy_spreads(path_graph) >= 1.0).all()

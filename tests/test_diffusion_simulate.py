@@ -1,0 +1,68 @@
+"""Tests for forward cascade simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.diffusion.simulate import simulate_cascade, simulate_cascade_with_steps
+
+
+class TestSimulateCascade:
+    def test_deterministic_chain_activates_all(self, path_graph):
+        active = simulate_cascade(path_graph, np.ones(path_graph.m), [0], rng=0)
+        assert active.all()
+
+    def test_zero_probabilities_activate_only_seeds(self, path_graph):
+        active = simulate_cascade(path_graph, np.zeros(path_graph.m), [1], rng=0)
+        assert active.tolist() == [False, True, False, False]
+
+    def test_no_backward_influence(self, path_graph):
+        active = simulate_cascade(path_graph, np.ones(path_graph.m), [2], rng=0)
+        assert active.tolist() == [False, False, True, True]
+
+    def test_empty_seed_set(self, path_graph):
+        active = simulate_cascade(path_graph, np.ones(path_graph.m), [], rng=0)
+        assert not active.any()
+
+    def test_duplicate_seeds_harmless(self, path_graph):
+        active = simulate_cascade(path_graph, np.zeros(path_graph.m), [0, 0], rng=0)
+        assert active.sum() == 1
+
+    def test_probability_shape_checked(self, path_graph):
+        with pytest.raises(EstimationError):
+            simulate_cascade(path_graph, np.ones(99), [0])
+
+    def test_stochastic_edge_rate(self, star_graph, rng):
+        # Center with 5 leaves at p = 0.4: mean activations ≈ 1 + 2.
+        probs = np.full(star_graph.m, 0.4)
+        totals = [
+            simulate_cascade(star_graph, probs, [0], rng).sum() for _ in range(800)
+        ]
+        assert np.mean(totals) == pytest.approx(1 + 5 * 0.4, abs=0.2)
+
+
+class TestSimulateWithSteps:
+    def test_step_progression(self, path_graph):
+        steps = simulate_cascade_with_steps(path_graph, np.ones(path_graph.m), [0], rng=0)
+        assert steps.tolist() == [0, 1, 2, 3]
+
+    def test_inactive_marked_minus_one(self, path_graph):
+        steps = simulate_cascade_with_steps(path_graph, np.zeros(path_graph.m), [1], rng=0)
+        assert steps.tolist() == [-1, 0, -1, -1]
+
+    def test_multiple_seeds_step_zero(self, diamond_graph):
+        steps = simulate_cascade_with_steps(
+            diamond_graph, np.ones(diamond_graph.m), [1, 2], rng=0
+        )
+        assert steps[1] == 0 and steps[2] == 0
+        assert steps[3] == 1
+        assert steps[0] == -1
+
+    def test_consistent_with_simulate(self, diamond_graph, rng):
+        probs = np.full(diamond_graph.m, 0.5)
+        seed = 77
+        active = simulate_cascade(diamond_graph, probs, [0], rng=np.random.default_rng(seed))
+        steps = simulate_cascade_with_steps(
+            diamond_graph, probs, [0], rng=np.random.default_rng(seed)
+        )
+        assert np.array_equal(active, steps >= 0)

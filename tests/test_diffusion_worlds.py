@@ -1,0 +1,108 @@
+"""Tests for possible worlds and exact spread enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.diffusion.worlds import (
+    exact_singleton_spreads,
+    exact_spread,
+    reachable_from,
+    sample_world,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestSampleWorld:
+    def test_extremes(self, path_graph, rng):
+        assert sample_world(path_graph, np.ones(path_graph.m), rng).all()
+        assert not sample_world(path_graph, np.zeros(path_graph.m), rng).any()
+
+    def test_shape_checked(self, path_graph, rng):
+        with pytest.raises(EstimationError):
+            sample_world(path_graph, np.ones(2), rng)
+
+    def test_live_rate(self, star_graph, rng):
+        probs = np.full(star_graph.m, 0.3)
+        live_counts = [sample_world(star_graph, probs, rng).sum() for _ in range(500)]
+        assert np.mean(live_counts) == pytest.approx(5 * 0.3, abs=0.2)
+
+
+class TestReachability:
+    def test_all_live(self, path_graph):
+        live = np.ones(path_graph.m, dtype=bool)
+        assert reachable_from(path_graph, live, [0]).sum() == 4
+
+    def test_broken_chain(self, path_graph):
+        live = np.array([True, False, True])
+        reached = reachable_from(path_graph, live, [0])
+        assert reached.tolist() == [True, True, False, False]
+
+    def test_multiple_seeds(self, path_graph):
+        live = np.zeros(path_graph.m, dtype=bool)
+        reached = reachable_from(path_graph, live, [0, 3])
+        assert reached.tolist() == [True, False, False, True]
+
+    def test_shape_checked(self, path_graph):
+        with pytest.raises(EstimationError):
+            reachable_from(path_graph, np.ones(1, dtype=bool), [0])
+
+
+class TestExactSpread:
+    def test_deterministic_graph(self, path_graph):
+        assert exact_spread(path_graph, np.ones(path_graph.m), [0]) == pytest.approx(4.0)
+        assert exact_spread(path_graph, np.ones(path_graph.m), [2]) == pytest.approx(2.0)
+
+    def test_empty_seed_set(self, path_graph):
+        assert exact_spread(path_graph, np.ones(path_graph.m), []) == 0.0
+
+    def test_single_edge_closed_form(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        assert exact_spread(g, np.array([0.3]), [0]) == pytest.approx(1.3)
+
+    def test_chain_closed_form(self, path_graph):
+        # sigma({0}) = 1 + p + p^2 + p^3 for a 4-node chain.
+        p = 0.5
+        expected = 1 + p + p**2 + p**3
+        assert exact_spread(path_graph, np.full(3, p), [0]) == pytest.approx(expected)
+
+    def test_star_closed_form(self, star_graph):
+        p = 0.25
+        assert exact_spread(star_graph, np.full(5, p), [0]) == pytest.approx(1 + 5 * p)
+
+    def test_diamond_inclusion_exclusion(self, diamond_graph):
+        # sigma({0}) = 1 + 2p + P(3 reached); P = 1 - (1 - p^2)^2.
+        p = 0.5
+        expected = 1 + 2 * p + (1 - (1 - p * p) ** 2)
+        assert exact_spread(diamond_graph, np.full(4, p), [0]) == pytest.approx(expected)
+
+    def test_monotone_in_seeds(self, diamond_graph):
+        probs = np.full(4, 0.3)
+        s1 = exact_spread(diamond_graph, probs, [0])
+        s2 = exact_spread(diamond_graph, probs, [0, 3])
+        assert s2 >= s1
+
+    def test_submodular_marginals(self, diamond_graph):
+        probs = np.full(4, 0.4)
+
+        def marg(x, base):
+            return exact_spread(diamond_graph, probs, base + [x]) - exact_spread(
+                diamond_graph, probs, base
+            )
+
+        assert marg(1, [0]) <= marg(1, []) + 1e-12
+
+    def test_random_edge_limit_enforced(self):
+        g = DiGraph.from_edge_list([(0, i) for i in range(1, 25)], n=25)
+        with pytest.raises(EstimationError):
+            exact_spread(g, np.full(g.m, 0.5), [0])
+
+    def test_deterministic_edges_do_not_count_against_limit(self):
+        g = DiGraph.from_edge_list([(0, i) for i in range(1, 25)], n=25)
+        assert exact_spread(g, np.ones(g.m), [0]) == pytest.approx(25.0)
+
+
+class TestExactSingletons:
+    def test_chain_values(self, path_graph):
+        spreads = exact_singleton_spreads(path_graph, np.ones(path_graph.m))
+        assert spreads.tolist() == [4.0, 3.0, 2.0, 1.0]

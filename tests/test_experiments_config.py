@@ -1,0 +1,61 @@
+"""Tests for experiment configuration."""
+
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.experiments.config import ANALOG_ALPHA_GRIDS, ExperimentConfig
+
+
+class TestConfig:
+    def test_defaults_sane(self):
+        cfg = ExperimentConfig()
+        assert cfg.eps > 0
+        assert cfg.theta_cap > 0
+        assert cfg.opt_lower_mode in ("singleton", "kpt")
+
+    def test_frozen(self):
+        cfg = ExperimentConfig()
+        with pytest.raises(FrozenInstanceError):
+            cfg.eps = 0.5
+
+    def test_quick_is_cheaper(self):
+        cfg = ExperimentConfig()
+        quick = cfg.quick()
+        assert quick.theta_cap <= cfg.theta_cap
+        assert quick.grid_mode == "quick"
+
+
+class TestAlphaGrids:
+    def test_analog_grid_used_for_known_datasets(self):
+        cfg = ExperimentConfig(grid_mode="paper")
+        assert cfg.alphas("linear", "epinions_syn") == ANALOG_ALPHA_GRIDS[
+            "epinions_syn"
+        ]["linear"]
+
+    def test_quick_grid_subsets_paper_grid(self):
+        cfg_paper = ExperimentConfig(grid_mode="paper")
+        cfg_quick = ExperimentConfig(grid_mode="quick")
+        full = cfg_paper.alphas("sublinear", "flixster_syn")
+        quick = cfg_quick.alphas("sublinear", "flixster_syn")
+        assert len(quick) == 3
+        assert set(quick) <= set(full)
+        assert quick[0] == full[0] and quick[-1] == full[-1]
+
+    def test_unknown_dataset_falls_back_to_paper_grids(self):
+        cfg = ExperimentConfig(grid_mode="paper")
+        grid = cfg.alphas("linear", "some_crawled_graph")
+        assert grid == (0.1, 0.2, 0.3, 0.4, 0.5)
+
+    def test_epinions_fallback_variant(self):
+        cfg = ExperimentConfig(grid_mode="paper")
+        grid = cfg.alphas("constant", "epinions_real")
+        assert grid == (6.0, 7.0, 8.0, 9.0, 10.0)
+
+    def test_all_models_have_analog_grids(self):
+        for grids in ANALOG_ALPHA_GRIDS.values():
+            assert set(grids) == {"linear", "constant", "sublinear", "superlinear"}
+            for grid in grids.values():
+                assert len(grid) == 5
+                assert all(a > 0 for a in grid)
+                assert list(grid) == sorted(grid)

@@ -1,0 +1,109 @@
+"""Tests for the synthetic analog dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstanceError
+from repro.experiments.datasets import (
+    DATASET_BUILDERS,
+    Dataset,
+    build_dataset,
+    build_dblp_syn,
+    build_livejournal_syn,
+    clear_dataset_cache,
+)
+
+
+class TestRegistry:
+    def test_four_analogs_registered(self):
+        assert set(DATASET_BUILDERS) == {
+            "flixster_syn",
+            "epinions_syn",
+            "dblp_syn",
+            "livejournal_syn",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InstanceError):
+            build_dataset("snapchat_syn")
+
+    def test_cache_returns_same_object(self):
+        a = build_dataset("flixster_syn", n=300, h=2, singleton_rr_samples=500)
+        b = build_dataset("flixster_syn", n=300, h=2, singleton_rr_samples=500)
+        assert a is b
+
+    def test_cache_cleared(self):
+        a = build_dataset("flixster_syn", n=300, h=2, singleton_rr_samples=500)
+        clear_dataset_cache()
+        b = build_dataset("flixster_syn", n=300, h=2, singleton_rr_samples=500)
+        assert a is not b
+
+
+class TestFlixsterAnalog(object):
+    def test_structure(self, quick_dataset):
+        ds = quick_dataset
+        assert ds.graph.n == 400
+        assert ds.h == 4
+        assert len(ds.ad_probs) == 4
+        assert len(ds.budgets) == 4
+        # Pure-competition pairs share distributions and probabilities.
+        assert ds.gammas[0] == ds.gammas[1]
+        assert np.array_equal(ds.ad_probs[0], ds.ad_probs[1])
+
+    def test_spreads_floor_at_one(self, quick_dataset):
+        for spread in quick_dataset.singleton_spreads:
+            assert (spread >= 1.0).all()
+
+    def test_budgets_exceed_top_singleton_payment(self, quick_dataset):
+        """The non-degeneracy regime: every ad can afford its best seed."""
+        ds = quick_dataset
+        for i in range(ds.h):
+            top_revenue = ds.cpes[i] * ds.max_singleton_spread(i)
+            assert ds.budgets[i] >= 2.0 * top_revenue
+
+    def test_opt_lower_bounds(self, quick_dataset):
+        bounds = quick_dataset.opt_lower_bounds()
+        assert len(bounds) == quick_dataset.h
+        assert all(b >= 1.0 for b in bounds)
+
+
+class TestScalabilityAnalogs:
+    def test_dblp_is_undirected(self):
+        ds = build_dblp_syn(n=500, h=4, seed=1)
+        from repro.graph.stats import is_symmetric
+
+        assert is_symmetric(ds.graph)
+        assert ds.graph_type == "undirected"
+        assert ds.spread_source == "out-degree proxy"
+
+    def test_livejournal_rmat(self):
+        ds = build_livejournal_syn(scale=8, h=4, seed=2)
+        assert ds.graph.n == 256
+        assert ds.cpes == [1.0] * 4
+
+
+class TestBuildInstance:
+    def test_default_instance(self, quick_dataset):
+        inst = quick_dataset.build_instance("linear", 1.0)
+        assert inst.h == quick_dataset.h
+        assert inst.n == quick_dataset.graph.n
+
+    def test_h_cycling(self, quick_dataset):
+        inst = quick_dataset.build_instance("linear", 1.0, h=7)
+        assert inst.h == 7
+        # Ad 4 cycles back to source ad 0.
+        assert inst.cpe(4) == quick_dataset.cpes[0]
+        assert np.array_equal(inst.ad_probs[4], quick_dataset.ad_probs[0])
+
+    def test_budget_override(self, quick_dataset):
+        inst = quick_dataset.build_instance("linear", 1.0, budget_override=500.0)
+        assert all(inst.budget(i) == 500.0 for i in range(inst.h))
+
+    def test_incentive_models_differ(self, quick_dataset):
+        lin = quick_dataset.build_instance("linear", 1.0)
+        const = quick_dataset.build_instance("constant", 1.0)
+        assert not np.allclose(lin.incentives[0], const.incentives[0])
+
+    def test_invalid_h(self, quick_dataset):
+        with pytest.raises(InstanceError):
+            quick_dataset.build_instance("linear", 1.0, h=0)

@@ -1,0 +1,55 @@
+"""Tests for plain-text reporting and persistence."""
+
+import os
+
+from repro.experiments.reporting import (
+    format_table,
+    format_value,
+    results_dir,
+    save_report,
+    series_text,
+)
+
+
+class TestFormatting:
+    def test_format_value_types(self):
+        assert format_value(3) == "3"
+        assert format_value("x") == "x"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(123456.7) == "1.235e+05"
+        assert format_value(0.0000123) == "1.230e-05"
+        assert format_value(0.0) == "0.00"
+
+    def test_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text  # no KeyError
+
+    def test_series_text(self):
+        text = series_text("panel", [1, 2], {"algo": [10.0, 20.0]})
+        assert "== panel ==" in text
+        assert "algo" in text
+
+
+class TestPersistence:
+    def test_save_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_report("unit", "hello")
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"
+        assert results_dir() == str(tmp_path)

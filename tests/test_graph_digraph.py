@@ -1,0 +1,158 @@
+"""Unit tests for the CSR digraph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph(0, [], [])
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_nodes_without_edges(self):
+        g = DiGraph(5, [], [])
+        assert g.n == 5
+        assert g.m == 0
+        assert list(g.out_neighbors(3)) == []
+        assert list(g.in_neighbors(3)) == []
+
+    def test_basic_adjacency(self, diamond_graph):
+        assert sorted(diamond_graph.out_neighbors(0).tolist()) == [1, 2]
+        assert sorted(diamond_graph.in_neighbors(3).tolist()) == [1, 2]
+        assert diamond_graph.out_neighbors(3).size == 0
+        assert diamond_graph.in_neighbors(0).size == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1, [], [])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(3, [0], [3])
+        with pytest.raises(GraphError):
+            DiGraph(3, [-1], [0])
+
+    def test_self_loop_rejected_by_default(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, [1], [1])
+
+    def test_self_loop_allowed_when_opted_in(self):
+        g = DiGraph(2, [1], [1], allow_self_loops=True)
+        assert g.m == 1
+
+    def test_dedupe_removes_duplicates(self):
+        g = DiGraph(3, [0, 0, 1], [1, 1, 2])
+        assert g.m == 2
+
+    def test_dedupe_disabled_keeps_duplicates(self):
+        g = DiGraph(3, [0, 0], [1, 1], dedupe=False)
+        assert g.m == 2
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(3, [0, 1], [1])
+
+
+class TestConstructors:
+    def test_from_edge_list_infers_n(self):
+        g = DiGraph.from_edge_list([(0, 4), (2, 1)])
+        assert g.n == 5
+        assert g.m == 2
+
+    def test_from_edge_list_explicit_n(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=10)
+        assert g.n == 10
+
+    def test_from_edge_list_empty(self):
+        g = DiGraph.from_edge_list([])
+        assert g.n == 0 and g.m == 0
+
+    def test_from_adjacency(self):
+        g = DiGraph.from_adjacency({0: [1, 2], 2: [1]})
+        assert g.n == 3
+        assert g.m == 3
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+
+
+class TestEdgeIds:
+    def test_canonical_order_sorted_by_tail(self):
+        g = DiGraph(4, [2, 0, 1], [3, 1, 2], dedupe=False)
+        tails, heads = g.edge_array()
+        assert tails.tolist() == [0, 1, 2]
+        assert heads.tolist() == [1, 2, 3]
+
+    def test_in_edge_ids_map_to_same_arc(self, diamond_graph):
+        tails, heads = diamond_graph.edge_array()
+        for v in range(diamond_graph.n):
+            ids = diamond_graph.in_edge_ids_of(v)
+            for eid, u in zip(ids, diamond_graph.in_neighbors(v)):
+                assert tails[eid] == u
+                assert heads[eid] == v
+
+    def test_out_edge_ids_contiguous(self, diamond_graph):
+        ids = diamond_graph.out_edge_ids(0)
+        assert ids.tolist() == [0, 1]
+
+
+class TestDegrees:
+    def test_degree_vectors(self, star_graph):
+        assert star_graph.out_degrees().tolist() == [5, 0, 0, 0, 0, 0]
+        assert star_graph.in_degrees().tolist() == [0, 1, 1, 1, 1, 1]
+
+    def test_degree_sums_equal_m(self, rng):
+        tails = rng.integers(0, 20, size=50)
+        heads = (tails + 1 + rng.integers(0, 19, size=50)) % 20
+        g = DiGraph(20, tails, heads)
+        assert g.out_degrees().sum() == g.m
+        assert g.in_degrees().sum() == g.m
+
+
+class TestDerivedGraphs:
+    def test_reverse_swaps_adjacency(self, path_graph):
+        r = path_graph.reverse()
+        assert list(r.out_neighbors(1)) == [0]
+        assert list(r.in_neighbors(0)) == [1]
+        assert r.m == path_graph.m
+
+    def test_reverse_twice_is_identity(self, diamond_graph):
+        assert diamond_graph.reverse().reverse() == diamond_graph
+
+    def test_to_bidirected(self, path_graph):
+        b = path_graph.to_bidirected()
+        assert b.m == 2 * path_graph.m
+        assert b.has_edge(1, 0) and b.has_edge(0, 1)
+
+    def test_to_bidirected_idempotent_on_symmetric(self, path_graph):
+        b = path_graph.to_bidirected()
+        assert b.to_bidirected().m == b.m
+
+    def test_subgraph_relabels(self):
+        g = DiGraph.from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)], n=4)
+        sub = g.subgraph([1, 2, 3])
+        assert sub.n == 3
+        # Edges (1,2) and (2,3) survive as (0,1), (1,2).
+        assert sub.m == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+
+class TestQueries:
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(0, 1)
+        assert not path_graph.has_edge(1, 0)
+        assert not path_graph.has_edge(0, 3)
+
+    def test_edges_iteration_matches_edge_array(self, diamond_graph):
+        tails, heads = diamond_graph.edge_array()
+        assert list(diamond_graph.edges()) == list(zip(tails.tolist(), heads.tolist()))
+
+    def test_equality_and_hash(self):
+        g1 = DiGraph.from_edge_list([(0, 1), (1, 2)], n=3)
+        g2 = DiGraph.from_edge_list([(1, 2), (0, 1)], n=3)
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        g3 = DiGraph.from_edge_list([(0, 1)], n=3)
+        assert g1 != g3

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    complete,
+    erdos_renyi,
+    kronecker_like,
+    path,
+    powerlaw_configuration,
+    preferential_attachment,
+    star,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(100, 0.05, seed=1)
+        expected = 100 * 99 * 0.05
+        assert 0.5 * expected < g.m < 1.5 * expected
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=1).m == 0
+        assert erdos_renyi(10, 1.0, seed=1).m == 90
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, 0.3, seed=2)
+        tails, heads = g.edge_array()
+        assert np.all(tails != heads)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_deterministic_under_seed(self):
+        assert erdos_renyi(50, 0.1, seed=9) == erdos_renyi(50, 0.1, seed=9)
+
+
+class TestPowerlawConfiguration:
+    def test_size_and_mean_degree(self):
+        g = powerlaw_configuration(500, mean_degree=6.0, seed=3)
+        assert g.n == 500
+        # Dedupe/self-loop removal shaves some edges; stay within 40%.
+        assert 0.6 * 6.0 * 500 < g.m <= 6.0 * 500
+
+    def test_heavy_tail_present(self):
+        g = powerlaw_configuration(1000, mean_degree=8.0, seed=4)
+        out = g.out_degrees()
+        assert out.max() >= 5 * max(out.mean(), 1.0)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(1, 5.0)
+        with pytest.raises(GraphError):
+            powerlaw_configuration(100, -1.0)
+
+    def test_deterministic_under_seed(self):
+        a = powerlaw_configuration(200, 5.0, seed=11)
+        b = powerlaw_configuration(200, 5.0, seed=11)
+        assert a == b
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = preferential_attachment(300, m_per_node=2, seed=5)
+        assert g.n == 300
+        assert g.m >= 300  # roughly 2 per node, minus dedupe
+
+    def test_hub_formation(self):
+        g = preferential_attachment(500, m_per_node=3, seed=6)
+        total = g.out_degrees() + g.in_degrees()
+        assert total.max() >= 10 * total.mean() / 2
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(GraphError):
+            preferential_attachment(1)
+        with pytest.raises(GraphError):
+            preferential_attachment(10, m_per_node=0)
+
+
+class TestKronecker:
+    def test_size_power_of_two(self):
+        g = kronecker_like(8, edge_factor=4, seed=7)
+        assert g.n == 256
+        assert g.m > 0
+
+    def test_skewed_degrees(self):
+        g = kronecker_like(10, edge_factor=8, seed=8)
+        out = g.out_degrees()
+        assert out.max() >= 8 * max(out.mean(), 1.0)
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(GraphError):
+            kronecker_like(0)
+
+
+class TestCannedGraphs:
+    def test_star_outward(self):
+        g = star(4)
+        assert g.n == 5
+        assert g.out_degrees()[0] == 4
+        assert g.in_degrees()[0] == 0
+
+    def test_star_inward(self):
+        g = star(4, outward=False)
+        assert g.in_degrees()[0] == 4
+
+    def test_path(self):
+        g = path(5)
+        assert g.n == 5 and g.m == 4
+        assert g.has_edge(3, 4) and not g.has_edge(4, 3)
+
+    def test_complete(self):
+        g = complete(4)
+        assert g.m == 12
+        tails, heads = g.edge_array()
+        assert np.all(tails != heads)
+
+    def test_single_node_path(self):
+        g = path(1)
+        assert g.n == 1 and g.m == 0

@@ -1,0 +1,50 @@
+"""Round-trip tests for graph persistence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path, diamond_graph):
+        path = str(tmp_path / "g.txt")
+        save_edge_list(diamond_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded == diamond_graph
+
+    def test_header_preserves_isolated_nodes(self, tmp_path):
+        g = DiGraph.from_edge_list([(0, 1)], n=7)
+        path = str(tmp_path / "g.txt")
+        save_edge_list(g, path)
+        assert load_edge_list(path).n == 7
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = str(tmp_path / "g.txt")
+        path_file = tmp_path / "g.txt"
+        path_file.write_text("# a comment\n\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        (tmp_path / "bad.txt").write_text("0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(str(tmp_path / "bad.txt"))
+
+    def test_explicit_n_wins(self, tmp_path):
+        (tmp_path / "g.txt").write_text("0 1\n")
+        assert load_edge_list(str(tmp_path / "g.txt"), n=9).n == 9
+
+
+class TestNpzIO:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(60, 0.1, seed=4)
+        path = str(tmp_path / "g.npz")
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_npz(str(tmp_path / "nope.npz"))

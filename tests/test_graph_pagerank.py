@@ -1,0 +1,108 @@
+"""PageRank tests, including cross-validation against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete, erdos_renyi, star
+from repro.graph.pagerank import pagerank, pagerank_order
+
+
+class TestBasicProperties:
+    def test_sums_to_one(self):
+        g = erdos_renyi(50, 0.1, seed=1)
+        assert pagerank(g).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_uniform_on_complete_graph(self):
+        g = complete(6)
+        ranks = pagerank(g)
+        assert np.allclose(ranks, 1.0 / 6.0, atol=1e-8)
+
+    def test_star_center_receives_no_rank_bonus(self):
+        # Outward star: leaves only receive; center only teleports.
+        g = star(5)
+        ranks = pagerank(g)
+        assert all(ranks[leaf] > ranks[0] for leaf in range(1, 6))
+
+    def test_empty_graph(self):
+        assert pagerank(DiGraph(0, [], [])).size == 0
+
+    def test_all_dangling(self):
+        g = DiGraph(4, [], [])
+        assert np.allclose(pagerank(g), 0.25)
+
+    def test_invalid_damping(self):
+        g = star(3)
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.0)
+
+    def test_max_iter_exceeded(self):
+        g = erdos_renyi(30, 0.2, seed=2)
+        with pytest.raises(ConvergenceError):
+            pagerank(g, tol=0.0, max_iter=3)
+
+
+class TestWeighted:
+    def test_weights_shape_checked(self):
+        g = star(3)
+        with pytest.raises(ValueError):
+            pagerank(g, weights=np.ones(99))
+
+    def test_negative_weights_rejected(self):
+        g = star(3)
+        with pytest.raises(ValueError):
+            pagerank(g, weights=-np.ones(g.m))
+
+    def test_zero_weights_treated_as_dangling(self):
+        g = star(3)
+        ranks = pagerank(g, weights=np.zeros(g.m))
+        assert np.allclose(ranks, 0.25)
+
+    def test_weighting_shifts_mass(self):
+        # 0 -> 1 (heavy), 0 -> 2 (light): node 1 should outrank node 2.
+        g = DiGraph.from_edge_list([(0, 1), (0, 2)], n=3)
+        w = np.zeros(g.m)
+        tails, heads = g.edge_array()
+        w[(tails == 0) & (heads == 1)] = 10.0
+        w[(tails == 0) & (heads == 2)] = 1.0
+        ranks = pagerank(g, weights=w)
+        assert ranks[1] > ranks[2]
+
+
+class TestAgainstNetworkx:
+    nx = pytest.importorskip("networkx")
+
+    def test_matches_networkx_unweighted(self):
+        g = erdos_renyi(80, 0.08, seed=3)
+        ours = pagerank(g, tol=1e-12)
+        nxg = self.nx.DiGraph(list(g.edges()))
+        nxg.add_nodes_from(range(g.n))
+        theirs = self.nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500)
+        theirs_vec = np.array([theirs[i] for i in range(g.n)])
+        assert np.allclose(ours, theirs_vec, atol=1e-6)
+
+    def test_matches_networkx_weighted(self, rng):
+        g = erdos_renyi(60, 0.1, seed=4)
+        w = rng.random(g.m) + 0.1
+        ours = pagerank(g, weights=w, tol=1e-12)
+        nxg = self.nx.DiGraph()
+        nxg.add_nodes_from(range(g.n))
+        tails, heads = g.edge_array()
+        for t, h, weight in zip(tails, heads, w):
+            nxg.add_edge(int(t), int(h), weight=float(weight))
+        theirs = self.nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500, weight="weight")
+        theirs_vec = np.array([theirs[i] for i in range(g.n)])
+        assert np.allclose(ours, theirs_vec, atol=1e-6)
+
+
+class TestOrdering:
+    def test_order_is_descending(self):
+        g = erdos_renyi(40, 0.15, seed=5)
+        order = pagerank_order(g)
+        ranks = pagerank(g)
+        assert np.all(np.diff(ranks[order]) <= 1e-12)
+
+    def test_order_is_permutation(self):
+        g = erdos_renyi(40, 0.15, seed=6)
+        assert sorted(pagerank_order(g).tolist()) == list(range(40))

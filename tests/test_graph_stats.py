@@ -1,0 +1,44 @@
+"""Tests for the Table 1 statistics helpers."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.stats import compute_stats, is_symmetric
+
+
+class TestSymmetry:
+    def test_directed_graph_not_symmetric(self, path_graph):
+        assert not is_symmetric(path_graph)
+
+    def test_bidirected_graph_symmetric(self, path_graph):
+        assert is_symmetric(path_graph.to_bidirected())
+
+    def test_empty_graph_symmetric(self):
+        assert is_symmetric(DiGraph(3, [], []))
+
+
+class TestStats:
+    def test_counts(self, star_graph):
+        stats = compute_stats(star_graph, name="star")
+        assert stats.n_nodes == 6
+        assert stats.n_edges == 5
+        assert stats.graph_type == "directed"
+        assert stats.max_out_degree == 5
+        assert stats.mean_out_degree == 5 / 6
+
+    def test_type_inference_undirected(self, path_graph):
+        stats = compute_stats(path_graph.to_bidirected())
+        assert stats.graph_type == "undirected"
+
+    def test_type_override(self, path_graph):
+        stats = compute_stats(path_graph, graph_type="custom")
+        assert stats.graph_type == "custom"
+
+    def test_as_row_keys(self, star_graph):
+        row = compute_stats(star_graph, name="star").as_row()
+        assert row["dataset"] == "star"
+        assert row["#nodes"] == 6
+        assert row["#edges"] == 5
+
+    def test_empty_graph(self):
+        stats = compute_stats(DiGraph(0, [], []))
+        assert stats.n_nodes == 0
+        assert stats.mean_out_degree == 0.0

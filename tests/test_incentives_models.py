@@ -1,0 +1,87 @@
+"""Tests for the four incentive models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstanceError
+from repro.incentives.models import (
+    INCENTIVE_MODELS,
+    compute_incentives,
+    constant_incentives,
+    linear_incentives,
+    sublinear_incentives,
+    superlinear_incentives,
+)
+
+SPREADS = np.array([1.0, 2.0, 5.0, 10.0])
+
+
+class TestTransforms:
+    def test_linear(self):
+        assert np.allclose(linear_incentives(SPREADS, 0.5), 0.5 * SPREADS)
+
+    def test_constant_same_for_all(self):
+        costs = constant_incentives(SPREADS, 2.0)
+        assert np.allclose(costs, costs[0])
+        assert costs[0] == pytest.approx(2.0 * SPREADS.mean())
+
+    def test_sublinear_log(self):
+        costs = sublinear_incentives(SPREADS, 3.0)
+        assert np.allclose(costs, 3.0 * np.log(SPREADS))
+        assert costs[0] == 0.0  # spread-1 seeds are free, as in the paper
+
+    def test_superlinear_square(self):
+        assert np.allclose(superlinear_incentives(SPREADS, 0.1), 0.1 * SPREADS**2)
+
+    def test_all_nonnegative(self):
+        for model in INCENTIVE_MODELS.values():
+            assert (model(SPREADS, 0.3) >= 0).all()
+
+    def test_all_monotone_in_spread(self):
+        ordered = np.sort(SPREADS)
+        for model in INCENTIVE_MODELS.values():
+            costs = model(ordered, 0.3)
+            assert (np.diff(costs) >= -1e-12).all()
+
+    def test_cost_ordering_across_models_at_high_spread(self):
+        # At sigma >> 1: sublinear < linear < superlinear (up to alpha scale).
+        sigma = np.array([1.0, 50.0])
+        sub = sublinear_incentives(sigma, 1.0)[1]
+        lin = linear_incentives(sigma, 1.0)[1]
+        sup = superlinear_incentives(sigma, 1.0)[1]
+        assert sub < lin < sup
+
+
+class TestValidation:
+    def test_rejects_spread_below_one(self):
+        with pytest.raises(InstanceError):
+            linear_incentives(np.array([0.5]), 1.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(InstanceError):
+            linear_incentives(SPREADS, 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InstanceError):
+            linear_incentives(np.array([]), 1.0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        by_name = compute_incentives(SPREADS, "linear", 0.2)
+        assert np.allclose(by_name, 0.2 * SPREADS)
+
+    def test_lookup_by_instance(self):
+        model = INCENTIVE_MODELS["superlinear"]
+        assert np.allclose(
+            compute_incentives(SPREADS, model, 0.2), model(SPREADS, 0.2)
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InstanceError):
+            compute_incentives(SPREADS, "exotic", 1.0)
+
+    def test_paper_alpha_grids_present(self):
+        for model in INCENTIVE_MODELS.values():
+            assert len(model.paper_alphas_flixster) == 5
+            assert len(model.paper_alphas_epinions) == 5

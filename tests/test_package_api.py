@@ -1,0 +1,60 @@
+"""The public API surface: everything advertised in __all__ must exist,
+be documented, and the module docstring's quickstart must be honest."""
+
+import inspect
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing {name!r}"
+
+    def test_public_callables_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type):
+                assert inspect.getdoc(obj), f"{name} lacks a docstring"
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert inspect.getdoc(obj), f"class {name} lacks a docstring"
+
+    def test_submodules_documented(self):
+        import repro.core
+        import repro.diffusion
+        import repro.experiments
+        import repro.graph
+        import repro.incentives
+        import repro.rrset
+        import repro.submodular
+        import repro.topics
+
+        for module in (
+            repro,
+            repro.core,
+            repro.diffusion,
+            repro.experiments,
+            repro.graph,
+            repro.incentives,
+            repro.rrset,
+            repro.submodular,
+            repro.topics,
+        ):
+            assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+    def test_version_is_semver_ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_algorithms_share_result_type(self):
+        from repro.core.allocation import AllocationResult
+
+        instance, _ = repro.tightness_instance()
+        oracle = repro.ExactOracle(instance)
+        assert isinstance(repro.ca_greedy(instance, oracle), AllocationResult)
+        assert isinstance(repro.cs_greedy(instance, oracle), AllocationResult)

@@ -1,0 +1,91 @@
+"""Property-based tests for matroid/independence-system structure."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.independence import (
+    PartitionMatroid,
+    allocation_pairs_independent,
+    lower_upper_rank,
+)
+
+matroid_specs = st.tuples(
+    st.lists(st.integers(0, 3), min_size=1, max_size=8),  # groups
+    st.lists(st.integers(0, 3), min_size=4, max_size=4),  # capacities
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matroid_specs)
+def test_partition_matroid_axioms(spec):
+    """Downward closure + augmentation on exhaustive subsets (Def. 1–2)."""
+    groups, capacities = spec
+    m = PartitionMatroid(groups, capacities)
+    ground = range(len(groups))
+    independents = [
+        frozenset(c)
+        for r in range(len(groups) + 1)
+        for c in itertools.combinations(ground, r)
+        if m.is_independent(c)
+    ]
+    independent_set = set(independents)
+    # Non-empty (empty set is always independent).
+    assert frozenset() in independent_set
+    # Downward closure.
+    for x in independents:
+        for e in x:
+            assert x - {e} in independent_set
+    # Augmentation.
+    for x in independents:
+        for y in independents:
+            if len(y) > len(x):
+                assert any(x | {e} in independent_set for e in y - x)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matroid_specs)
+def test_matroid_ranks_coincide(spec):
+    """All maximal independent sets of a matroid share one cardinality."""
+    groups, capacities = spec
+    m = PartitionMatroid(groups, capacities)
+    r, big_r = lower_upper_rank(range(len(groups)), m.is_independent, max_ground=8)
+    assert r == big_r == m.rank()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 2)), min_size=0, max_size=8
+    )
+)
+def test_pair_disjointness_matches_matroid_semantics(pairs):
+    """The helper agrees with 'no node appears twice' (Lemma 1)."""
+    nodes = [node for node, _ in pairs]
+    expected = len(nodes) == len(set(nodes))
+    assert allocation_pairs_independent(pairs) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(0.5, 3.0), min_size=2, max_size=7),
+    st.floats(1.0, 8.0),
+)
+def test_knapsack_system_downward_closed_and_ranked(weights, capacity):
+    """Knapsack feasible families are independence systems with r <= R."""
+    def is_indep(subset):
+        return sum(weights[i] for i in subset) <= capacity
+
+    ground = range(len(weights))
+    subsets = [
+        frozenset(c)
+        for r in range(len(weights) + 1)
+        for c in itertools.combinations(ground, r)
+    ]
+    feasible = {s for s in subsets if is_indep(s)}
+    for s in feasible:
+        for e in s:
+            assert s - {e} in feasible
+    r, big_r = lower_upper_rank(ground, is_indep, max_ground=8)
+    assert 0 <= r <= big_r

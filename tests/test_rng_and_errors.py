@@ -1,0 +1,65 @@
+"""Tests for RNG helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro._rng import as_generator, spawn
+from repro import errors
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_generator(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        rng = as_generator(np.random.SeedSequence(7))
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_reproducible(self):
+        parent_a = as_generator(5)
+        parent_b = as_generator(5)
+        kids_a = spawn(parent_a, 3)
+        kids_b = spawn(parent_b, 3)
+        for ka, kb in zip(kids_a, kids_b):
+            assert np.array_equal(ka.random(4), kb.random(4))
+        # Distinct children produce distinct streams.
+        draws = [tuple(np.round(k.random(4), 12)) for k in spawn(as_generator(5), 3)]
+        assert len(set(draws)) == 3
+
+    def test_zero_children(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GraphError",
+            "TopicModelError",
+            "InstanceError",
+            "AllocationError",
+            "EstimationError",
+            "ConvergenceError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_single_except_catches_everything(self):
+        try:
+            raise errors.EstimationError("boom")
+        except errors.ReproError as exc:
+            assert "boom" in str(exc)

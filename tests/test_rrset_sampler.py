@@ -1,0 +1,108 @@
+"""Tests for RR-set sampling, including unbiasedness against exact spread."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.diffusion.worlds import exact_spread
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.rrset.sampler import RRSampler
+
+
+class TestSamplerBasics:
+    def test_target_always_member(self, path_graph, rng):
+        sampler = RRSampler(path_graph, np.full(path_graph.m, 0.5))
+        for _ in range(20):
+            rr = sampler.sample(rng, target=2)
+            assert 2 in rr.tolist()
+
+    def test_zero_probs_give_singletons(self, path_graph, rng):
+        sampler = RRSampler(path_graph, np.zeros(path_graph.m))
+        for _ in range(10):
+            assert sampler.sample(rng).size == 1
+
+    def test_deterministic_graph_full_ancestry(self, path_graph, rng):
+        sampler = RRSampler(path_graph, np.ones(path_graph.m))
+        rr = sampler.sample(rng, target=3)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_members_unique(self, rng):
+        g = erdos_renyi(30, 0.2, seed=1)
+        sampler = RRSampler(g, np.full(g.m, 0.5))
+        for _ in range(30):
+            rr = sampler.sample(rng)
+            assert len(set(rr.tolist())) == rr.size
+
+    def test_invalid_target(self, path_graph, rng):
+        sampler = RRSampler(path_graph, np.ones(path_graph.m))
+        with pytest.raises(EstimationError):
+            sampler.sample(rng, target=99)
+
+    def test_probability_validation(self, path_graph):
+        with pytest.raises(EstimationError):
+            RRSampler(path_graph, np.ones(7))
+        with pytest.raises(EstimationError):
+            RRSampler(path_graph, np.full(path_graph.m, 1.5))
+
+    def test_empty_graph_rejected(self):
+        g = DiGraph(0, [], [])
+        with pytest.raises(EstimationError):
+            RRSampler(g, np.empty(0)).sample()
+
+    def test_batch_count(self, path_graph, rng):
+        sampler = RRSampler(path_graph, np.ones(path_graph.m))
+        assert len(sampler.sample_batch(17, rng)) == 17
+        with pytest.raises(EstimationError):
+            sampler.sample_batch(-1)
+
+
+class TestWidth:
+    def test_width_counts_in_edges_of_members(self, path_graph, rng):
+        sampler = RRSampler(path_graph, np.ones(path_graph.m))
+        members, width = sampler.sample_with_width(rng)
+        # Width = number of arcs into the RR set's members.
+        expected = sum(path_graph.in_neighbors(v).size for v in members)
+        assert width == expected
+
+
+class TestUnbiasedness:
+    """n * E[S hits R] must equal sigma(S) (Borgs et al.)."""
+
+    @pytest.mark.parametrize("p", [0.2, 0.6])
+    def test_singleton_estimate_matches_exact(self, diamond_graph, p):
+        probs = np.full(diamond_graph.m, p)
+        sampler = RRSampler(diamond_graph, probs)
+        rng = np.random.default_rng(42)
+        hits = sum(0 in sampler.sample(rng) for _ in range(20000))
+        estimate = diamond_graph.n * hits / 20000
+        exact = exact_spread(diamond_graph, probs, [0])
+        assert estimate == pytest.approx(exact, rel=0.06)
+
+    def test_pair_estimate_matches_exact(self, diamond_graph):
+        probs = np.full(diamond_graph.m, 0.5)
+        sampler = RRSampler(diamond_graph, probs)
+        rng = np.random.default_rng(43)
+        seeds = {1, 2}
+        hits = sum(
+            bool(seeds & set(sampler.sample(rng).tolist())) for _ in range(20000)
+        )
+        estimate = diamond_graph.n * hits / 20000
+        exact = exact_spread(diamond_graph, probs, [1, 2])
+        assert estimate == pytest.approx(exact, rel=0.06)
+
+    def test_unbiased_on_random_graph(self):
+        g = erdos_renyi(12, 0.25, seed=2)
+        # Keep the number of random arcs enumerable for exact_spread.
+        probs = np.where(np.arange(g.m) % 3 == 0, 0.5, 0.0)
+        if (probs > 0).sum() > 18:
+            probs[18 * 3 :] = 0.0
+        sampler = RRSampler(g, probs)
+        rng = np.random.default_rng(44)
+        seeds = [0, 5]
+        hits = sum(
+            bool(set(seeds) & set(sampler.sample(rng).tolist())) for _ in range(30000)
+        )
+        estimate = g.n * hits / 30000
+        exact = exact_spread(g, probs, seeds)
+        assert estimate == pytest.approx(exact, rel=0.08)

@@ -1,0 +1,105 @@
+"""Tests for monotonicity/submodularity checkers and curvature."""
+
+import numpy as np
+import pytest
+
+from repro.submodular.checks import (
+    average_curvature,
+    is_monotone,
+    is_submodular,
+    set_curvature,
+    total_curvature,
+)
+from repro.submodular.functions import (
+    CoverageFunction,
+    ModularFunction,
+    SetFunction,
+    random_coverage_function,
+)
+
+
+class SquareOfSum(SetFunction):
+    """Supermodular: f(S) = (sum of weights)^2 — should fail submodularity."""
+
+    def __init__(self, weights):
+        super().__init__(weights.keys())
+        self.weights = weights
+
+    def evaluate(self, subset):
+        return sum(self.weights[x] for x in subset) ** 2
+
+
+class NonMonotone(SetFunction):
+    """|S| * (3 - |S|): rises then falls."""
+
+    def __init__(self, n):
+        super().__init__(range(n))
+
+    def evaluate(self, subset):
+        k = len(subset)
+        return float(k * (3 - k))
+
+
+class TestCheckers:
+    def test_coverage_is_monotone_submodular(self):
+        f = CoverageFunction({0: [1, 2], 1: [2, 3], 2: [4]})
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_modular_is_monotone_submodular(self):
+        f = ModularFunction({0: 1.0, 1: 2.0})
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_supermodular_detected(self):
+        f = SquareOfSum({0: 1.0, 1: 1.0, 2: 2.0})
+        assert not is_submodular(f)
+
+    def test_non_monotone_detected(self):
+        f = NonMonotone(5)
+        assert not is_monotone(f)
+
+    def test_sampled_mode_on_larger_ground_set(self, rng):
+        f = random_coverage_function(20, 15, rng=rng)
+        assert is_monotone(f, n_samples=100, rng=1)
+        assert is_submodular(f, n_samples=100, rng=2)
+
+
+class TestCurvature:
+    def test_modular_has_zero_curvature(self):
+        f = ModularFunction({0: 1.0, 1: 5.0})
+        assert total_curvature(f) == 0.0
+
+    def test_full_overlap_has_curvature_one(self):
+        # Two elements covering the same item: marginal given the other is 0.
+        f = CoverageFunction({0: [9], 1: [9]})
+        assert total_curvature(f) == 1.0
+
+    def test_partial_overlap_between(self):
+        f = CoverageFunction({0: [1, 2], 1: [2, 3]})
+        # f(0 | {1}) = 1, f({0}) = 2 -> ratio 1/2 -> curvature 1/2.
+        assert total_curvature(f) == pytest.approx(0.5)
+
+    def test_empty_set_curvature_zero(self):
+        f = CoverageFunction({0: [1]})
+        assert set_curvature(f, set()) == 0.0
+        assert average_curvature(f, set()) == 0.0
+
+    def test_curvature_chain_inequality(self, rng):
+        """0 <= avg(S) <= kappa(S) <= kappa(V) <= 1 (Iyer et al.)."""
+        for trial in range(10):
+            f = random_coverage_function(7, 5, rng=rng)
+            elements = list(f.ground_set)
+            size = int(rng.integers(1, len(elements)))
+            subset = set(rng.choice(elements, size=size, replace=False).tolist())
+            k_hat = average_curvature(f, subset)
+            k_s = set_curvature(f, subset)
+            k_total = total_curvature(f)
+            assert 0.0 <= k_hat <= k_s + 1e-9
+            assert k_s <= k_total + 1e-9
+            assert k_total <= 1.0
+
+    def test_zero_value_elements_skipped(self):
+        f = CoverageFunction({0: [], 1: [5]})
+        # Element 0 contributes nothing; curvature determined by element 1.
+        assert total_curvature(f) == 0.0

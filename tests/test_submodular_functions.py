@@ -1,0 +1,80 @@
+"""Tests for the set-function toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.submodular.functions import (
+    CoverageFunction,
+    ModularFunction,
+    ScaledFunction,
+    SumFunction,
+    WeightedCoverageFunction,
+    random_coverage_function,
+)
+
+
+class TestModular:
+    def test_additivity(self):
+        f = ModularFunction({0: 1.0, 1: 2.0, 2: 4.0})
+        assert f({0, 2}) == 5.0
+        assert f(set()) == 0.0
+
+    def test_marginal_is_weight(self):
+        f = ModularFunction({0: 1.0, 1: 2.0})
+        assert f.marginal(1, {0}) == 2.0
+        assert f.marginal(1, {1}) == 0.0
+
+    def test_outside_ground_set_rejected(self):
+        f = ModularFunction({0: 1.0})
+        with pytest.raises(ValueError):
+            f({5})
+
+
+class TestCoverage:
+    def test_union_semantics(self):
+        f = CoverageFunction({0: [10, 11], 1: [11, 12], 2: []})
+        assert f({0}) == 2.0
+        assert f({0, 1}) == 3.0
+        assert f({2}) == 0.0
+
+    def test_marginal_diminishes(self):
+        f = CoverageFunction({0: [10, 11], 1: [11, 12]})
+        assert f.marginal(1, set()) == 2.0
+        assert f.marginal(1, {0}) == 1.0
+
+    def test_weighted_coverage(self):
+        f = WeightedCoverageFunction({0: [10], 1: [10, 11]}, {10: 3.0, 11: 0.5})
+        assert f({0}) == 3.0
+        assert f({0, 1}) == 3.5
+
+    def test_weighted_unknown_item_counts_zero(self):
+        f = WeightedCoverageFunction({0: [99]}, {})
+        assert f({0}) == 0.0
+
+
+class TestCombinators:
+    def test_scaled(self):
+        base = CoverageFunction({0: [1], 1: [1, 2]})
+        f = ScaledFunction(base, 2.5)
+        assert f({1}) == 5.0
+
+    def test_sum(self):
+        cover = CoverageFunction({0: [1], 1: [2]})
+        costs = ModularFunction({0: 0.5, 1: 1.5})
+        rho = SumFunction([cover, costs])
+        assert rho({0, 1}) == 2.0 + 2.0
+
+    def test_sum_requires_common_ground(self):
+        with pytest.raises(ValueError):
+            SumFunction([ModularFunction({0: 1.0}), ModularFunction({1: 1.0})])
+
+    def test_sum_requires_parts(self):
+        with pytest.raises(ValueError):
+            SumFunction([])
+
+
+class TestRandomCoverage:
+    def test_every_element_has_value(self):
+        f = random_coverage_function(8, 5, rng=np.random.default_rng(1))
+        for x in range(8):
+            assert f({x}) >= 1.0

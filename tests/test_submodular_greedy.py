@@ -1,0 +1,72 @@
+"""Tests for the generic greedy over independence systems."""
+
+import pytest
+
+from repro.submodular.functions import CoverageFunction, ModularFunction
+from repro.submodular.greedy import exhaustive_maximum, greedy_independence_system
+
+
+def cardinality_constraint(k):
+    return lambda subset: len(subset) <= k
+
+
+class TestGreedy:
+    def test_cardinality_coverage(self):
+        f = CoverageFunction({0: [1, 2, 3], 1: [3, 4], 2: [5], 3: [1]})
+        solution, order = greedy_independence_system(f, cardinality_constraint(2))
+        assert order[0] == 0  # biggest cover first
+        assert len(solution) == 2
+        assert f(solution) == 4.0  # 3 from element 0 plus 1 more
+
+    def test_classic_1_minus_1_over_e(self):
+        # Greedy on coverage under cardinality is within (1 - 1/e) of OPT.
+        f = CoverageFunction(
+            {0: [1, 2], 1: [3, 4], 2: [1, 3], 3: [5], 4: [2, 4, 5]}
+        )
+        solution, _ = greedy_independence_system(f, cardinality_constraint(2))
+        _, opt = exhaustive_maximum(f, cardinality_constraint(2))
+        assert f(solution) >= (1 - 1 / 2.72) * opt
+
+    def test_ratio_rule_prefers_efficiency(self):
+        f = CoverageFunction({0: [1, 2, 3, 4], 1: [5, 6, 7]})
+        cost = ModularFunction({0: 100.0, 1: 1.0})
+        solution, order = greedy_independence_system(
+            f, cardinality_constraint(1), ratio_denominator=cost
+        )
+        assert order[0] == 1
+
+    def test_infeasible_elements_skipped(self):
+        f = CoverageFunction({0: [1], 1: [2], 2: [3]})
+
+        def no_element_2(subset):
+            return 2 not in subset
+
+        solution, _ = greedy_independence_system(f, no_element_2)
+        assert 2 not in solution
+        assert solution == {0, 1}
+
+    def test_tie_break_callable(self):
+        f = CoverageFunction({0: [1], 1: [2], 2: [3]})
+        solution, order = greedy_independence_system(
+            f, cardinality_constraint(1), tie_break=lambda x: x
+        )
+        assert order[0] == 2  # all gains equal; largest tie-break key wins
+
+
+class TestExhaustive:
+    def test_finds_true_optimum(self):
+        f = CoverageFunction({0: [1, 2], 1: [2, 3], 2: [4]})
+        best, value = exhaustive_maximum(f, cardinality_constraint(2))
+        # Any pair covers exactly 3 items; singletons cover at most 2.
+        assert value == 3.0
+        assert len(best) == 2
+
+    def test_respects_constraint(self):
+        f = CoverageFunction({0: [1], 1: [2], 2: [3]})
+        best, _ = exhaustive_maximum(f, cardinality_constraint(1))
+        assert len(best) <= 1
+
+    def test_large_ground_set_rejected(self):
+        f = CoverageFunction({i: [i] for i in range(25)})
+        with pytest.raises(ValueError):
+            exhaustive_maximum(f, cardinality_constraint(2))

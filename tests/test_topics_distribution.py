@@ -1,0 +1,118 @@
+"""Tests for ad topic distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopicModelError
+from repro.topics.distribution import (
+    TopicDistribution,
+    peaked_distribution,
+    pure_competition_ads,
+    random_distribution,
+    single_topic,
+    uniform_distribution,
+)
+
+
+class TestTopicDistribution:
+    def test_valid_vector_accepted(self):
+        d = TopicDistribution([0.2, 0.8])
+        assert d.n_topics == 2
+        assert d.gamma.sum() == pytest.approx(1.0)
+
+    def test_normalizes_tiny_drift(self):
+        d = TopicDistribution([0.5, 0.5000001])
+        assert d.gamma.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution([-0.1, 1.1])
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution([0.2, 0.2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution([])
+
+    def test_dominant_topic(self):
+        assert TopicDistribution([0.1, 0.7, 0.2]).dominant_topic() == 1
+
+    def test_equality_and_hash(self):
+        a = TopicDistribution([0.3, 0.7])
+        b = TopicDistribution([0.3, 0.7])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_overlap_identical_is_one(self):
+        d = TopicDistribution([0.4, 0.6])
+        assert d.overlap(d) == pytest.approx(1.0)
+
+    def test_overlap_disjoint_is_zero(self):
+        a = single_topic(2, 0)
+        b = single_topic(2, 1)
+        assert a.overlap(b) == pytest.approx(0.0)
+
+    def test_overlap_dimension_mismatch(self):
+        with pytest.raises(TopicModelError):
+            single_topic(2, 0).overlap(single_topic(3, 0))
+
+
+class TestFactories:
+    def test_uniform(self):
+        d = uniform_distribution(4)
+        assert np.allclose(d.gamma, 0.25)
+
+    def test_uniform_rejects_zero_topics(self):
+        with pytest.raises(TopicModelError):
+            uniform_distribution(0)
+
+    def test_single_topic(self):
+        d = single_topic(5, 2)
+        assert d.gamma[2] == 1.0
+        assert d.gamma.sum() == pytest.approx(1.0)
+
+    def test_single_topic_out_of_range(self):
+        with pytest.raises(TopicModelError):
+            single_topic(3, 3)
+
+    def test_random_distribution_valid(self):
+        d = random_distribution(6, seed=1)
+        assert d.n_topics == 6
+        assert d.gamma.sum() == pytest.approx(1.0)
+
+    def test_peaked_distribution_paper_values(self):
+        d = peaked_distribution(10, 3, peak=0.91)
+        assert d.gamma[3] == pytest.approx(0.91)
+        assert d.gamma[0] == pytest.approx(0.01)
+
+    def test_peaked_single_topic_degenerates(self):
+        d = peaked_distribution(1, 0)
+        assert d.gamma[0] == 1.0
+
+
+class TestPureCompetition:
+    def test_pairs_share_distribution(self):
+        ads = pure_competition_ads(10, 10, seed=2)
+        assert len(ads) == 10
+        for k in range(0, 10, 2):
+            assert ads[k] == ads[k + 1]
+
+    def test_distinct_pairs_use_distinct_topics(self):
+        ads = pure_competition_ads(10, 10, seed=3)
+        dominant = {ads[k].dominant_topic() for k in range(0, 10, 2)}
+        assert len(dominant) == 5
+
+    def test_odd_count(self):
+        ads = pure_competition_ads(5, 10, seed=4)
+        assert len(ads) == 5
+        assert ads[4].dominant_topic() not in {a.dominant_topic() for a in ads[:4]}
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(TopicModelError):
+            pure_competition_ads(12, 5)
+
+    def test_zero_ads_rejected(self):
+        with pytest.raises(TopicModelError):
+            pure_competition_ads(0)

@@ -1,0 +1,113 @@
+"""Tests for topic-aware edge probability models (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopicModelError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, star
+from repro.topics.distribution import TopicDistribution, single_topic, uniform_distribution
+from repro.topics.edge_probs import (
+    TICModel,
+    random_tic_model,
+    trivalency,
+    uniform_probabilities,
+    weighted_cascade,
+    weighted_cascade_capped,
+)
+
+
+class TestTICModel:
+    def test_eq1_mixture(self):
+        g = DiGraph.from_edge_list([(0, 1), (1, 2)], n=3)
+        tensor = np.array([[0.2, 0.4], [0.6, 0.0]])
+        model = TICModel(g, tensor)
+        gamma = TopicDistribution([0.5, 0.5])
+        assert np.allclose(model.ad_probabilities(gamma), [0.4, 0.2])
+
+    def test_point_mass_selects_topic_row(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        model = TICModel(g, np.array([[0.3], [0.9]]))
+        assert model.ad_probabilities(single_topic(2, 1))[0] == pytest.approx(0.9)
+
+    def test_shape_validation(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        with pytest.raises(TopicModelError):
+            TICModel(g, np.zeros((2, 5)))
+
+    def test_range_validation(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        with pytest.raises(TopicModelError):
+            TICModel(g, np.array([[1.5]]))
+
+    def test_topic_count_mismatch(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        model = TICModel(g, np.zeros((2, 1)))
+        with pytest.raises(TopicModelError):
+            model.ad_probabilities(uniform_distribution(3))
+
+    def test_topic_probabilities_accessor(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        model = TICModel(g, np.array([[0.3], [0.9]]))
+        assert model.topic_probabilities(0)[0] == pytest.approx(0.3)
+        with pytest.raises(TopicModelError):
+            model.topic_probabilities(2)
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_indegree(self):
+        g = DiGraph.from_edge_list([(0, 2), (1, 2), (0, 1)], n=3)
+        probs = weighted_cascade(g)
+        tails, heads = g.edge_array()
+        for p, h in zip(probs, heads):
+            assert p == pytest.approx(1.0 / g.in_degrees()[h])
+
+    def test_capped_variant(self):
+        g = star(3)  # leaves have indegree 1 -> pure WC gives p = 1
+        assert weighted_cascade(g).max() == pytest.approx(1.0)
+        assert weighted_cascade_capped(g, cap=0.2).max() == pytest.approx(0.2)
+
+    def test_cap_validation(self):
+        g = star(3)
+        with pytest.raises(TopicModelError):
+            weighted_cascade_capped(g, cap=0.0)
+
+
+class TestOtherModels:
+    def test_uniform(self):
+        g = star(4)
+        assert np.allclose(uniform_probabilities(g, 0.15), 0.15)
+
+    def test_uniform_range_check(self):
+        with pytest.raises(TopicModelError):
+            uniform_probabilities(star(2), 1.4)
+
+    def test_trivalency_levels_only(self):
+        g = erdos_renyi(40, 0.2, seed=1)
+        probs = trivalency(g, seed=2)
+        assert set(np.round(probs, 6)) <= {0.1, 0.01, 0.001}
+
+    def test_trivalency_level_validation(self):
+        with pytest.raises(TopicModelError):
+            trivalency(star(2), levels=(2.0,))
+
+
+class TestRandomTICModel:
+    def test_shape_and_range(self):
+        g = erdos_renyi(50, 0.15, seed=3)
+        model = random_tic_model(g, n_topics=5, seed=4)
+        assert model.tensor.shape == (5, g.m)
+        assert model.tensor.min() >= 0.0
+        assert model.tensor.max() <= 1.0
+
+    def test_topic_heterogeneity(self):
+        g = erdos_renyi(80, 0.15, seed=5)
+        model = random_tic_model(g, n_topics=8, seed=6)
+        # Different topics should induce genuinely different ad vectors.
+        p0 = model.ad_probabilities(single_topic(8, 0))
+        p1 = model.ad_probabilities(single_topic(8, 1))
+        assert not np.allclose(p0, p1)
+
+    def test_rejects_zero_topics(self):
+        with pytest.raises(TopicModelError):
+            random_tic_model(star(3), 0)

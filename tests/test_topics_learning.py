@@ -1,0 +1,116 @@
+"""Tests for the TIC parameter learner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopicModelError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.topics.distribution import single_topic, uniform_distribution
+from repro.topics.edge_probs import TICModel
+from repro.topics.learning import CascadeLog, estimate_tic_model, generate_cascade_log
+
+
+class TestCascadeLog:
+    def test_add_and_len(self, path_graph):
+        log = CascadeLog(path_graph, items=[single_topic(1, 0)])
+        log.add(0, np.array([0, 1, -1, -1]))
+        assert len(log) == 1
+
+    def test_bad_item_index(self, path_graph):
+        log = CascadeLog(path_graph, items=[single_topic(1, 0)])
+        with pytest.raises(TopicModelError):
+            log.add(5, np.zeros(4, dtype=np.int64))
+
+    def test_bad_trace_shape(self, path_graph):
+        log = CascadeLog(path_graph, items=[single_topic(1, 0)])
+        with pytest.raises(TopicModelError):
+            log.add(0, np.zeros(3, dtype=np.int64))
+
+
+class TestGenerateLog:
+    def test_trace_count(self, path_graph):
+        model = TICModel(path_graph, np.full((1, path_graph.m), 0.5))
+        log = generate_cascade_log(
+            path_graph, model, [single_topic(1, 0)], cascades_per_item=7,
+            seeds_per_cascade=1, rng=0,
+        )
+        assert len(log) == 7
+
+    def test_seeds_have_step_zero(self, path_graph):
+        model = TICModel(path_graph, np.full((1, path_graph.m), 1.0))
+        log = generate_cascade_log(
+            path_graph, model, [single_topic(1, 0)], cascades_per_item=3,
+            seeds_per_cascade=2, rng=1,
+        )
+        for trace in log.traces:
+            assert (trace == 0).sum() == 2
+
+    def test_parameter_validation(self, path_graph):
+        model = TICModel(path_graph, np.zeros((1, path_graph.m)))
+        with pytest.raises(TopicModelError):
+            generate_cascade_log(path_graph, model, [single_topic(1, 0)], cascades_per_item=0)
+        with pytest.raises(TopicModelError):
+            generate_cascade_log(
+                path_graph, model, [single_topic(1, 0)], seeds_per_cascade=99
+            )
+
+
+class TestEstimation:
+    def test_deterministic_edge_learned_as_high(self):
+        # Single arc with p = 1: every exposure is a success.
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        truth = TICModel(g, np.array([[1.0]]))
+        log = generate_cascade_log(
+            g, truth, [single_topic(1, 0)], cascades_per_item=60,
+            seeds_per_cascade=1, rng=2,
+        )
+        learned = estimate_tic_model(log, 1, smoothing=1.0)
+        assert learned.tensor[0, 0] > 0.7
+
+    def test_dead_edge_learned_as_low(self):
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        truth = TICModel(g, np.array([[0.0]]))
+        log = generate_cascade_log(
+            g, truth, [single_topic(1, 0)], cascades_per_item=60,
+            seeds_per_cascade=1, rng=3,
+        )
+        learned = estimate_tic_model(log, 1)
+        assert learned.tensor[0, 0] < 0.1
+
+    def test_recovers_ordering_on_random_graph(self):
+        g = erdos_renyi(30, 0.2, seed=4)
+        rng = np.random.default_rng(5)
+        tensor = rng.choice([0.05, 0.6], size=(1, g.m), p=[0.5, 0.5])
+        truth = TICModel(g, tensor)
+        log = generate_cascade_log(
+            g, truth, [single_topic(1, 0)], cascades_per_item=400,
+            seeds_per_cascade=3, rng=6,
+        )
+        learned = estimate_tic_model(log, 1, smoothing=0.5)
+        strong = learned.tensor[0, tensor[0] == 0.6]
+        weak = learned.tensor[0, tensor[0] == 0.05]
+        # Well-exposed strong edges should clearly dominate weak ones on average.
+        if strong.size and weak.size:
+            assert strong.mean() > weak.mean() + 0.1
+
+    def test_topic_attribution(self):
+        # Two topics; items are point masses, so credit goes to the right row.
+        g = DiGraph.from_edge_list([(0, 1)], n=2)
+        truth = TICModel(g, np.array([[1.0], [0.0]]))
+        items = [single_topic(2, 0), single_topic(2, 1)]
+        log = generate_cascade_log(
+            g, truth, items, cascades_per_item=50, seeds_per_cascade=1, rng=7
+        )
+        learned = estimate_tic_model(log, 2)
+        assert learned.tensor[0, 0] > learned.tensor[1, 0]
+
+    def test_topic_count_mismatch_rejected(self, path_graph):
+        log = CascadeLog(path_graph, items=[uniform_distribution(3)])
+        with pytest.raises(TopicModelError):
+            estimate_tic_model(log, 2)
+
+    def test_zero_topics_rejected(self, path_graph):
+        log = CascadeLog(path_graph, items=[])
+        with pytest.raises(TopicModelError):
+            estimate_tic_model(log, 0)
