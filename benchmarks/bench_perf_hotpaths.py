@@ -1,0 +1,172 @@
+"""Hot-path micro/macro benchmarks for the RR data plane (perf trajectory).
+
+Measures, on a mid-size synthetic instance (EPINIONS analog, n = 3000,
+h = 8, θ capped at 20k):
+
+* sampler throughput — RR sets/second via ``sample_batch_flat``;
+* ``mark_covered_by`` latency — 200 covers of the highest-coverage nodes
+  over a 20k-set collection;
+* full ``TIEngine.run`` wall time for TI-CSRM and TI-CARM.
+
+Results are written machine-readable to ``BENCH_hotpaths.json`` at the
+repo root so future PRs can track the perf trajectory; the JSON also
+embeds the frozen pre-flat-backend baseline (measured on the same
+workload/machine at the time of the flat-CSR refactor) and the implied
+speedups.
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py``,
+or explicitly via ``pytest benchmarks/bench_perf_hotpaths.py`` (the file
+does not match the default ``test_*.py`` collection pattern, so the
+tier-1 run never executes it).  The ≥3× acceptance evidence for the
+flat-backend PR is the committed ``BENCH_hotpaths.json`` (15.3× on the
+reference machine); the pytest wrapper checks the report's structure,
+not the wall-clock ratio, because ``SEED_BASELINE`` holds absolute
+seconds from one machine and a slower host would fail spuriously.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ti_engine import TIEngine
+from repro.experiments.datasets import build_dataset
+from repro.rrset.collection import RRCollection
+from repro.rrset.sampler import RRSampler
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+
+WORKLOAD = dict(
+    dataset="epinions_syn",
+    n=3_000,
+    h=8,
+    singleton_rr_samples=2_000,
+    sampler_sets=20_000,
+    cover_ops=200,
+    eps=0.3,
+    theta_cap=20_000,
+    seed=11,
+)
+
+# Frozen reference: the pure-Python list-of-lists backend (per-set
+# sampling loop, per-member index appends, full per-round candidate
+# rescans) measured on exactly this workload immediately before the
+# flat-CSR + lazy-candidate refactor.
+SEED_BASELINE = {
+    "sampler_sets_per_s": 82_499.0,
+    "mark_covered_s_per_200": 0.011,
+    "ticsrm_run_s": 3.266,
+}
+
+
+def _build():
+    ds = build_dataset(
+        WORKLOAD["dataset"],
+        n=WORKLOAD["n"],
+        h=WORKLOAD["h"],
+        singleton_rr_samples=WORKLOAD["singleton_rr_samples"],
+    )
+    return ds, ds.build_instance("linear", 1.0)
+
+
+def bench_sampler(inst) -> tuple[float, RRCollection]:
+    sampler = RRSampler(inst.graph, inst.ad_probs[0])
+    rng = np.random.default_rng(123)
+    t0 = time.perf_counter()
+    members, indptr = sampler.sample_batch_flat(WORKLOAD["sampler_sets"], rng)
+    elapsed = time.perf_counter() - t0
+    coll = RRCollection(inst.graph.n)
+    coll.add_sets_flat(members, indptr)
+    return WORKLOAD["sampler_sets"] / elapsed, coll
+
+
+def bench_mark_covered(coll: RRCollection) -> float:
+    order = np.argsort(-coll.counts)[: WORKLOAD["cover_ops"]]
+    t0 = time.perf_counter()
+    for v in order:
+        coll.mark_covered_by(int(v))
+    return time.perf_counter() - t0
+
+
+def bench_engine(ds, inst, rule: str, selector: str, name: str) -> float:
+    engine = TIEngine(
+        inst,
+        candidate_rule=rule,
+        selector=selector,
+        eps=WORKLOAD["eps"],
+        theta_cap=WORKLOAD["theta_cap"],
+        opt_lower=ds.opt_lower_bounds(),
+        seed=WORKLOAD["seed"],
+        algorithm_name=name,
+    )
+    t0 = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - t0
+
+
+def run_benchmarks() -> dict:
+    ds, inst = _build()
+    sets_per_s, coll = bench_sampler(inst)
+    cover_s = bench_mark_covered(coll)
+    csrm_s = bench_engine(ds, inst, "cs", "rate", "TI-CSRM")
+    carm_s = bench_engine(ds, inst, "ca", "revenue", "TI-CARM")
+    current = {
+        "sampler_sets_per_s": round(sets_per_s, 1),
+        "mark_covered_s_per_200": round(cover_s, 5),
+        "ticsrm_run_s": round(csrm_s, 4),
+        "ticarm_run_s": round(carm_s, 4),
+    }
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workload": WORKLOAD,
+        "seed_baseline": SEED_BASELINE,
+        "current": current,
+        "speedup_vs_seed": {
+            "sampler": round(
+                current["sampler_sets_per_s"] / SEED_BASELINE["sampler_sets_per_s"], 2
+            ),
+            "mark_covered_by": round(
+                SEED_BASELINE["mark_covered_s_per_200"]
+                / max(current["mark_covered_s_per_200"], 1e-9),
+                2,
+            ),
+            "ticsrm_end_to_end": round(
+                SEED_BASELINE["ticsrm_run_s"] / max(current["ticsrm_run_s"], 1e-9), 2
+            ),
+        },
+    }
+    return report
+
+
+def save_report(report: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_perf_hotpaths():
+    """The benchmark completes and produces a well-formed trajectory report."""
+    report = run_benchmarks()
+    save_report(report)
+    print(json.dumps(report, indent=2))
+    assert report["current"]["sampler_sets_per_s"] > 0
+    assert report["current"]["ticsrm_run_s"] > 0
+    assert set(report["speedup_vs_seed"]) == {
+        "sampler",
+        "mark_covered_by",
+        "ticsrm_end_to_end",
+    }
+
+
+if __name__ == "__main__":
+    report = run_benchmarks()
+    save_report(report)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {RESULT_PATH}")

@@ -23,6 +23,7 @@ from repro._rng import as_generator
 from repro.diffusion.montecarlo import estimate_spread
 from repro.diffusion.worlds import exact_spread
 from repro.errors import EstimationError
+from repro.rrset.collection import build_inverted_index
 from repro.rrset.sampler import RRSampler
 from repro.core.instance import RMInstance
 
@@ -126,19 +127,22 @@ class RRStaticOracle(SpreadOracle):
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
         rng = as_generator(seed)
         self.n_samples = int(n_samples)
-        # node -> sorted array of RR-set ids, one index per ad.
-        self._memberships: list[dict[int, list[int]]] = []
+        # One node -> set-ids inverted CSR index per ad, built from the
+        # sampler's flat batch output.
+        self._memberships: list[tuple[np.ndarray, np.ndarray]] = []
+        n = instance.graph.n
         for i in range(instance.h):
             sampler = RRSampler(instance.graph, instance.ad_probs[i])
-            index: dict[int, list[int]] = {}
-            for sid in range(n_samples):
-                for v in sampler.sample(rng):
-                    index.setdefault(int(v), []).append(sid)
-            self._memberships.append(index)
+            members, indptr = sampler.sample_batch_flat(n_samples, rng)
+            sids = np.repeat(
+                np.arange(n_samples, dtype=np.int64), np.diff(indptr)
+            )
+            self._memberships.append(build_inverted_index(members, sids, n))
 
     def _spread_uncached(self, ad: int, seeds: frozenset) -> float:
-        index = self._memberships[ad]
-        hit: set[int] = set()
-        for v in seeds:
-            hit.update(index.get(int(v), ()))
-        return self.instance.n * len(hit) / self.n_samples
+        inv_indptr, inv_sets = self._memberships[ad]
+        slices = [
+            inv_sets[inv_indptr[int(v)] : inv_indptr[int(v) + 1]] for v in seeds
+        ]
+        hit = np.unique(np.concatenate(slices)).size if slices else 0
+        return self.instance.n * hit / self.n_samples

@@ -40,6 +40,32 @@ Documented deviations from the pseudocode (DESIGN.md §4):
   ``O(θ·|R| + h·(θ + n))`` in fully competitive marketplaces, with
   the same estimator semantics (the shared sets are i.i.d. from each
   sharing ad's RR distribution).
+
+Performance notes (flat data plane + lazy candidates):
+
+* RR sets are drawn with :meth:`RRSampler.sample_batch_flat` and stored
+  in flat CSR collections; all coverage maintenance is vectorized.
+  **RNG stream:** each batch draws all its roots in one vectorized
+  ``rng.integers`` call before any arc coin is flipped, whereas the
+  legacy sampler interleaved one root draw with each set's coin flips.
+  Seeded runs remain fully deterministic (same seed → same allocation)
+  but produce a *different* — equally valid — sample than pre-flat
+  versions of this engine; the KPT estimator batches its width samples
+  the same way.  All estimator guarantees are distribution-level and
+  unaffected.
+* The greedy loop caches each ad's candidate ``(node, marg_rev)``
+  between rounds (CELF-style laziness).  When ad ``a`` wins node ``v``,
+  only ``a`` (its residual counts and possibly ``θ_a`` changed) and ads
+  whose cached candidate *is* ``v`` (it just left the allowed set) are
+  recomputed: for every untouched ad the residual counts are unchanged
+  and its cached argmax is still the argmax over the shrunken allowed
+  set, so the cached candidate is *exactly* what a fresh rescan would
+  return — allocations are bit-identical to eager mode
+  (``lazy_candidates=False``), which the parity tests assert.  The one
+  exception is the windowed CS rule: removing ``v`` from the allowed
+  set can promote a new node into the top-``w`` coverage window, so
+  caching is disabled whenever ``window`` is set.  This turns the
+  per-round cost from O(h·n) into O(#invalidated·n).
 """
 
 from __future__ import annotations
@@ -80,6 +106,9 @@ class _AdState:
         "pr_order",
         "pr_ptr",
         "opt_lower",
+        "cand_node",
+        "cand_rev",
+        "cand_fresh",
     )
 
     def __init__(self) -> None:
@@ -96,6 +125,11 @@ class _AdState:
         self.pr_order: np.ndarray | None = None
         self.pr_ptr = 0
         self.opt_lower = 1.0
+        # CELF-style candidate cache: (node, marginal revenue) of the last
+        # computed candidate, plus a validity flag.
+        self.cand_node: int | None = None
+        self.cand_rev = 0.0
+        self.cand_fresh = False
 
 
 class TIEngine:
@@ -114,6 +148,7 @@ class TIEngine:
         opt_lower: str | float | list[float] = "kpt",
         kpt_max_samples: int = 5_000,
         share_samples: bool = False,
+        lazy_candidates: bool = True,
         blocked=None,
         seed=None,
         algorithm_name: str | None = None,
@@ -138,6 +173,10 @@ class TIEngine:
         self.opt_lower_spec = opt_lower
         self.kpt_max_samples = int(kpt_max_samples)
         self.share_samples = bool(share_samples)
+        # Laziness is exact except under the windowed CS rule (see module
+        # docstring); lazy_candidates=False forces a full rescan per round
+        # and exists for verification/benchmark comparisons.
+        self.lazy_candidates = bool(lazy_candidates) and window is None
         self.blocked = None if blocked is None else np.asarray(blocked, dtype=bool)
         self.rng = as_generator(seed)
         self.algorithm_name = algorithm_name or f"TI[{candidate_rule}/{selector}]"
@@ -159,12 +198,14 @@ class TIEngine:
             return max(float(spec[ad]), 1.0)
         return max(float(spec), 1.0)
 
-    def _prob_group_key(self, ad: int):
-        """Ads share a store iff their probability vectors are identical."""
-        probs = self.instance.ad_probs[ad]
-        return (id(probs), probs.shape[0]) if not self.share_samples else hash(
-            probs.tobytes()
-        )
+    def _prob_group_key(self, ad: int) -> bytes:
+        """Ads share a store iff their probability vectors are identical.
+
+        Keyed on the raw probability bytes — hashing them would let a
+        hash collision silently share a store between ads with different
+        probability vectors.  Only called when ``share_samples`` is on.
+        """
+        return self.instance.ad_probs[ad].tobytes()
 
     def _init_states(self) -> None:
         inst = self.instance
@@ -224,15 +265,15 @@ class TIEngine:
             )
             if self.share_samples:
                 if state.store.size < state.theta:
-                    state.store.extend(
-                        state.sampler.sample_batch(
+                    state.store.extend_flat(
+                        *state.sampler.sample_batch_flat(
                             state.theta - state.store.size, state.rng
                         )
                     )
                 state.collection.adopt(state.theta)
             else:
-                state.collection.add_sets(
-                    state.sampler.sample_batch(state.theta, state.rng)
+                state.collection.add_sets_flat(
+                    *state.sampler.sample_batch_flat(state.theta, state.rng)
                 )
             if self.candidate_rule == "pagerank":
                 state.pr_order = pagerank_order(inst.graph, weights=inst.ad_probs[ad])
@@ -327,17 +368,19 @@ class TIEngine:
             # straight into the covered count.
             if self.share_samples:
                 if state.store.size < theta_new:
-                    state.store.extend(
-                        state.sampler.sample_batch(
+                    state.store.extend_flat(
+                        *state.sampler.sample_batch_flat(
                             theta_new - state.store.size, state.rng
                         )
                     )
                 state.collection.adopt(theta_new, seeds=state.seeds)
             else:
-                extra = state.sampler.sample_batch(
-                    theta_new - state.theta, state.rng
+                state.collection.add_sets_flat(
+                    *state.sampler.sample_batch_flat(
+                        theta_new - state.theta, state.rng
+                    ),
+                    seeds=state.seeds,
                 )
-                state.collection.add_sets(extra, seeds=state.seeds)
             state.theta = theta_new
 
     # ------------------------------------------------------------------
@@ -352,6 +395,7 @@ class TIEngine:
         allocation = Allocation(h)
         rounds = 0
 
+        lazy = self.lazy_candidates
         while True:
             rounds += 1
             candidates: list[tuple[int, int, float, float]] = []
@@ -359,10 +403,21 @@ class TIEngine:
                 state = self._states[ad]
                 if state.done:
                     continue
-                node = self._candidate(ad)
-                if node is None:
+                if lazy and state.cand_fresh:
+                    # Untouched since the cache was filled: residual counts
+                    # and θ are unchanged and the cached node is still
+                    # allowed, so the cached argmax is exact.
+                    node = state.cand_node
+                else:
+                    node = self._candidate(ad)
+                    state.cand_node = node
+                    state.cand_rev = (
+                        self._marginal_revenue(ad, node) if node is not None else 0.0
+                    )
+                    state.cand_fresh = True
+                if node is None or state.done:
                     continue
-                marg_rev = self._marginal_revenue(ad, node)
+                marg_rev = state.cand_rev
                 marg_pay = marg_rev + inst.incentive(ad, node)
                 if self._payment(ad) + marg_pay > inst.budget(ad) + _BUDGET_SLACK:
                     continue  # infeasible this round; the ad stalls
@@ -380,6 +435,13 @@ class TIEngine:
             state.collection.mark_covered_by(node)
             if len(state.seeds) == state.s_est and not state.done:
                 self._grow(ad)
+            # Invalidate exactly the caches the win could have changed:
+            # the winner's (counts/θ moved) and any ad whose cached
+            # candidate node was just assigned.
+            state.cand_fresh = False
+            for st in self._states:
+                if st.cand_node == node:
+                    st.cand_fresh = False
 
         revenue = [
             self._revenue(ad) if self._states[ad].seeds else 0.0 for ad in range(h)
@@ -406,6 +468,7 @@ class TIEngine:
                 "window": self.window,
                 "candidate_rule": self.candidate_rule,
                 "share_samples": self.share_samples,
+                "lazy_candidates": self.lazy_candidates,
                 "selector": self.selector,
             },
         )

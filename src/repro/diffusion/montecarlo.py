@@ -78,9 +78,10 @@ def estimate_singleton_spreads_rr(
         raise EstimationError(f"n_samples must be positive, got {n_samples}")
     rng = as_generator(rng)
     sampler = RRSampler(graph, probs)
-    counts = np.zeros(graph.n, dtype=np.int64)
-    for _ in range(n_samples):
-        counts[sampler.sample(rng)] += 1
+    # Members are unique within each set, so one bincount over the flat
+    # batch counts every node's memberships across all sets at once.
+    members, _ = sampler.sample_batch_flat(n_samples, rng)
+    counts = np.bincount(members, minlength=graph.n)
     return np.maximum(graph.n * counts / n_samples, 1.0)
 
 

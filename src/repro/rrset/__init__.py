@@ -5,6 +5,7 @@ from repro.rrset.collection import (
     RRCollection,
     SharedRRCollection,
     SharedRRStore,
+    estimate_spread_flat,
     estimate_spread_from_sets,
 )
 from repro.rrset.tim import (
@@ -18,6 +19,7 @@ __all__ = [
     "RRCollection",
     "SharedRRCollection",
     "SharedRRStore",
+    "estimate_spread_flat",
     "estimate_spread_from_sets",
     "log_binomial",
     "sample_size",

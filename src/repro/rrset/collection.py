@@ -1,4 +1,4 @@
-"""Coverage-indexed collections of RR sets.
+"""Coverage-indexed collections of RR sets on a flat CSR backend.
 
 :class:`RRCollection` is the workhorse behind TI-CARM / TI-CSRM
 (Algorithm 2).  It maintains, for one ad:
@@ -11,9 +11,27 @@
 * the running number of covered sets, from which the revenue estimate
   ``π̂_i(S_i) = cpe(i) · n · covered / θ_i`` follows.
 
-"Covered" sets are removed lazily (flagged, with member counts
-decremented) which implements line 14 of Algorithm 2; newly sampled sets
-that already contain a seed are absorbed directly into the covered count,
+Storage layout (identical estimator semantics to the original
+list-of-arrays implementation, but every hot operation is a numpy
+kernel):
+
+* ``members`` / ``indptr`` — one CSR pair over all sampled sets: set
+  ``k`` occupies ``members[indptr[k]:indptr[k+1]]``.  O(total members)
+  memory, appended in O(batch) per :meth:`RRCollection.add_sets_flat`.
+* ``covered`` — one boolean flag per set; "covered" sets are removed
+  lazily (flagged, member counts decremented), implementing line 14 of
+  Algorithm 2.
+* a node → set-ids inverted index, itself a CSR pair, built lazily with
+  ``np.bincount`` + stable ``np.argsort`` over the uncovered sets'
+  members (O(M) per rebuild, triggered once per growth batch — never
+  per member).  Stale entries of later-covered sets are filtered by the
+  ``covered`` flag at query time.
+
+:meth:`RRCollection.mark_covered_by` is fully vectorized: the node's set
+ids come from one inverted-index slice, and the residual-count
+decrement gathers all member slices of the newly covered sets with one
+ragged gather + ``np.bincount`` subtraction.  Newly sampled sets that
+already contain a seed are absorbed directly into the covered count,
 implementing the coverage refresh of ``UpdateEstimates`` (Algorithm 3).
 
 The collection also reports its memory footprint analytically, backing
@@ -28,53 +46,137 @@ import numpy as np
 
 from repro.errors import EstimationError
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _flatten_sets(
+    new_sets: Iterable[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate an iterable of member arrays into a CSR pair."""
+    arrays = [np.asarray(s, dtype=np.int64) for s in new_sets]
+    lens = np.asarray([a.size for a in arrays], dtype=np.int64)
+    indptr = np.concatenate(([0], np.cumsum(lens)))
+    members = np.concatenate(arrays) if arrays else _EMPTY_I64
+    return members, indptr
+
+
+def _segment_counts(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-set sums of a per-member array (robust to empty sets)."""
+    csum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return csum[indptr[1:]] - csum[indptr[:-1]]
+
+
+def _gather_segments(
+    members: np.ndarray, indptr: np.ndarray, sids: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``members[indptr[s]:indptr[s+1]]`` for each s in *sids*."""
+    starts = indptr[sids]
+    lens = indptr[sids + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return _EMPTY_I64
+    ends = np.cumsum(lens)
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - lens), lens)
+    return members[idx]
+
+
+def build_inverted_index(
+    nodes: np.ndarray, sids: np.ndarray, n_nodes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR (node → set ids) index: one stable argsort + one bincount.
+
+    Set ids stay ascending within each node's slice because ``sids`` is
+    non-decreasing and the sort is stable.
+    """
+    order = np.argsort(nodes, kind="stable")
+    inv_sets = np.ascontiguousarray(sids[order])
+    inv_indptr = np.concatenate(
+        ([0], np.cumsum(np.bincount(nodes, minlength=n_nodes)))
+    ).astype(np.int64)
+    return inv_indptr, inv_sets
+
+
+def _validate_flat(members: np.ndarray, indptr: np.ndarray, n_nodes: int) -> None:
+    if indptr.ndim != 1 or indptr.size < 1 or indptr[0] != 0:
+        raise EstimationError("indptr must be 1-D and start at 0")
+    if np.any(np.diff(indptr) < 0) or indptr[-1] != members.size:
+        raise EstimationError("indptr must be non-decreasing and end at members.size")
+    if members.size and (members.min() < 0 or members.max() >= n_nodes):
+        raise EstimationError("RR set contains out-of-range node ids")
+
+
+def _seed_mask(n_nodes: int, seeds: Sequence[int]) -> np.ndarray:
+    mask = np.zeros(n_nodes, dtype=bool)
+    for s in seeds:
+        mask[int(s)] = True
+    return mask
+
 
 class RRCollection:
-    """Mutable, coverage-indexed RR-set store for one ad."""
+    """Mutable, coverage-indexed RR-set store for one ad (flat CSR)."""
 
     def __init__(self, n_nodes: int) -> None:
         if n_nodes <= 0:
             raise EstimationError(f"n_nodes must be positive, got {n_nodes}")
         self.n_nodes = int(n_nodes)
-        self.sets: list[np.ndarray] = []
-        self.covered: list[bool] = []
+        self.members = _EMPTY_I64
+        self.indptr = np.zeros(1, dtype=np.int64)
+        self.covered = np.zeros(0, dtype=bool)
         self.covered_total = 0
         self.counts = np.zeros(n_nodes, dtype=np.int64)
-        self._cover_lists: list[list[int]] = [[] for _ in range(n_nodes)]
-        self._member_total = 0
+        self._inv_indptr: np.ndarray | None = None
+        self._inv_sets: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Growth
     # ------------------------------------------------------------------
-    def add_sets(self, new_sets: Iterable[np.ndarray], seeds: Sequence[int] = ()) -> int:
-        """Append RR sets; sets already hit by *seeds* count as covered.
+    def add_sets_flat(
+        self, members: np.ndarray, indptr: np.ndarray, seeds: Sequence[int] = ()
+    ) -> int:
+        """Append a flat CSR batch of RR sets (the sampler's output form).
 
-        Returns the number of newly added sets that were immediately
-        covered (the ``cov'`` refresh of Algorithm 3).
+        Sets already hit by *seeds* count as covered immediately — they
+        are neither indexed nor counted (Algorithm 3's ``cov'`` refresh).
+        Returns the number of newly absorbed covered sets.
         """
-        seed_mask = np.zeros(self.n_nodes, dtype=bool)
-        for s in seeds:
-            seed_mask[int(s)] = True
-        absorbed = 0
-        for members in new_sets:
-            members = np.asarray(members, dtype=np.int64)
-            if members.size and (members.min() < 0 or members.max() >= self.n_nodes):
-                raise EstimationError("RR set contains out-of-range node ids")
-            sid = len(self.sets)
-            self.sets.append(members)
-            self._member_total += int(members.size)
-            if members.size and seed_mask[members].any():
-                self.covered.append(True)
-                self.covered_total += 1
-                absorbed += 1
-                # Covered sets are dead for marginal-gain purposes; they
-                # are neither indexed nor counted.
-                continue
-            self.covered.append(False)
-            for v in members:
-                self._cover_lists[v].append(sid)
-            self.counts[members] += 1
+        members = np.ascontiguousarray(members, dtype=np.int64)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        _validate_flat(members, indptr, self.n_nodes)
+        k = indptr.size - 1
+        if k == 0:
+            return 0
+        lens = np.diff(indptr)
+        if seeds is not None and len(seeds):
+            hits = _segment_counts(_seed_mask(self.n_nodes, seeds)[members], indptr)
+            covered_new = hits > 0
+        else:
+            covered_new = np.zeros(k, dtype=bool)
+        absorbed = int(covered_new.sum())
+        live_members = members[np.repeat(~covered_new, lens)]
+        if live_members.size:
+            self.counts += np.bincount(live_members, minlength=self.n_nodes)
+        self.members = np.concatenate([self.members, members])
+        self.indptr = np.concatenate([self.indptr, self.indptr[-1] + indptr[1:]])
+        self.covered = np.concatenate([self.covered, covered_new])
+        self.covered_total += absorbed
+        self._inv_indptr = self._inv_sets = None  # rebuilt lazily
         return absorbed
+
+    def add_sets(self, new_sets: Iterable[np.ndarray], seeds: Sequence[int] = ()) -> int:
+        """List-of-arrays convenience wrapper over :meth:`add_sets_flat`."""
+        members, indptr = _flatten_sets(new_sets)
+        return self.add_sets_flat(members, indptr, seeds=seeds)
+
+    def _inverted(self) -> tuple[np.ndarray, np.ndarray]:
+        """The node → uncovered-set-ids index, rebuilt after growth."""
+        if self._inv_indptr is None:
+            lens = np.diff(self.indptr)
+            live = np.repeat(~self.covered, lens)
+            sids = np.repeat(np.arange(self.theta, dtype=np.int64), lens)[live]
+            self._inv_indptr, self._inv_sets = build_inverted_index(
+                self.members[live], sids, self.n_nodes
+            )
+        return self._inv_indptr, self._inv_sets
 
     # ------------------------------------------------------------------
     # Queries
@@ -82,7 +184,11 @@ class RRCollection:
     @property
     def theta(self) -> int:
         """Total number of sampled RR sets (covered included)."""
-        return len(self.sets)
+        return self.indptr.size - 1
+
+    def set_members(self, sid: int) -> np.ndarray:
+        """Member ids of set *sid* (a CSR slice view)."""
+        return self.members[self.indptr[sid] : self.indptr[sid + 1]]
 
     def residual_count(self, node: int) -> int:
         """Number of uncovered sets containing *node* (``cov_i(node)``)."""
@@ -119,17 +225,7 @@ class RRCollection:
         epsilon for the division only, making free influencers maximally
         attractive without numeric warnings.
         """
-        if not allowed.any():
-            return None
-        candidate_idx = np.flatnonzero(allowed)
-        if window is not None and window < candidate_idx.size:
-            cand_counts = self.counts[candidate_idx]
-            top = np.argpartition(-cand_counts, window - 1)[:window]
-            candidate_idx = candidate_idx[top]
-        safe_costs = np.maximum(costs[candidate_idx], 1e-12)
-        ratios = self.counts[candidate_idx] / safe_costs
-        best = int(np.argmax(ratios))
-        return int(candidate_idx[best])
+        return _best_by_ratio(self.counts, costs, allowed, window)
 
     def max_residual_fraction(self, allowed: np.ndarray) -> float:
         """``F^max_{R_i}``: the largest residual coverage fraction (Eq. 10)."""
@@ -141,18 +237,19 @@ class RRCollection:
         """Static spread estimate ``n · F_R(S)`` over *all* sampled sets.
 
         Unlike the residual counts this intentionally includes covered
-        sets, matching the unbiased-estimator definition.
+        sets, matching the unbiased-estimator definition.  One membership
+        mask lookup over the flat member array plus a segmented reduction.
         """
         if self.theta == 0:
             raise EstimationError("cannot estimate spread from an empty collection")
         n = self.n_nodes if n_nodes is None else n_nodes
-        members = np.zeros(self.n_nodes, dtype=bool)
+        mask = np.zeros(self.n_nodes, dtype=bool)
         if np.isscalar(node_or_set):
-            members[int(node_or_set)] = True
+            mask[int(node_or_set)] = True
         else:
             for v in node_or_set:
-                members[int(v)] = True
-        hit = sum(1 for s in self.sets if s.size and members[s].any())
+                mask[int(v)] = True
+        hit = int((_segment_counts(mask[self.members], self.indptr) > 0).sum())
         return n * hit / self.theta
 
     # ------------------------------------------------------------------
@@ -165,39 +262,59 @@ class RRCollection:
         counts stay equal to marginal coverages.  Returns the number of
         sets newly covered (the selected seed's ``cov_i``).
         """
-        newly = 0
-        for sid in self._cover_lists[node]:
-            if self.covered[sid]:
-                continue
-            self.covered[sid] = True
-            self.covered_total += 1
-            newly += 1
-            self.counts[self.sets[sid]] -= 1
-        self._cover_lists[node] = []
-        return newly
+        inv_indptr, inv_sets = self._inverted()
+        ids = inv_sets[inv_indptr[node] : inv_indptr[node + 1]]
+        fresh = ids[~self.covered[ids]]
+        if not fresh.size:
+            return 0
+        self.covered[fresh] = True
+        self.covered_total += int(fresh.size)
+        dead = _gather_segments(self.members, self.indptr, fresh)
+        self.counts -= np.bincount(dead, minlength=self.n_nodes)
+        return int(fresh.size)
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
         """Analytic footprint of the stored sets and indexes (Table 3)."""
-        set_bytes = self._member_total * 8
-        index_bytes = self._member_total * 8
-        flags = len(self.covered)
+        set_bytes = self.members.size * 8
+        index_bytes = self.members.size * 8
+        flags = self.theta
         counts_bytes = self.counts.nbytes
         return set_bytes + index_bytes + flags + counts_bytes
 
 
+def _best_by_ratio(
+    counts: np.ndarray,
+    costs: np.ndarray,
+    allowed: np.ndarray,
+    window: int | None,
+) -> int | None:
+    """Shared Algorithm-5 argmax over residual counts / incentive costs."""
+    if not allowed.any():
+        return None
+    candidate_idx = np.flatnonzero(allowed)
+    if window is not None and window < candidate_idx.size:
+        cand_counts = counts[candidate_idx]
+        top = np.argpartition(-cand_counts, window - 1)[:window]
+        candidate_idx = candidate_idx[top]
+    safe_costs = np.maximum(costs[candidate_idx], 1e-12)
+    ratios = counts[candidate_idx] / safe_costs
+    return int(candidate_idx[int(np.argmax(ratios))])
+
+
 class SharedRRStore:
-    """Append-only RR-set storage shared by several advertisers.
+    """Append-only flat RR-set storage shared by several advertisers.
 
     Addresses the paper's open question (i) — "whether TI-CSRM can be
     made more memory efficient".  In the fully competitive marketplaces
     of Section 5 every ad uses the *same* arc probabilities (L = 1 or
     pure-competition pairs), so their RR sets are i.i.d. from the same
-    distribution; the sets themselves (and the node → set inverted
-    index) can therefore be stored once and shared, with each ad keeping
-    only its private residual state (covered flags + counts) in
+    distribution; the sets themselves (one CSR pair) and the node → set
+    inverted index (a second CSR pair, rebuilt lazily per extension
+    batch) are stored once and shared, with each ad keeping only its
+    private residual state (covered flags + counts) in
     :class:`SharedRRCollection`.  Storage drops from ``O(h · θ · |R|)``
     to ``O(θ · |R| + h · (θ + n))``.
     """
@@ -206,26 +323,50 @@ class SharedRRStore:
         if n_nodes <= 0:
             raise EstimationError(f"n_nodes must be positive, got {n_nodes}")
         self.n_nodes = int(n_nodes)
-        self.sets: list[np.ndarray] = []
-        self.cover_lists: list[list[int]] = [[] for _ in range(n_nodes)]
-        self.member_total = 0
+        self.members = _EMPTY_I64
+        self.indptr = np.zeros(1, dtype=np.int64)
+        self._inv_indptr: np.ndarray | None = None
+        self._inv_sets: np.ndarray | None = None
+
+    def extend_flat(self, members: np.ndarray, indptr: np.ndarray) -> None:
+        """Append a flat CSR batch of sets (the sampler's output form)."""
+        members = np.ascontiguousarray(members, dtype=np.int64)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        _validate_flat(members, indptr, self.n_nodes)
+        if indptr.size == 1:
+            return
+        self.members = np.concatenate([self.members, members])
+        self.indptr = np.concatenate([self.indptr, self.indptr[-1] + indptr[1:]])
+        self._inv_indptr = self._inv_sets = None
 
     def extend(self, new_sets: Iterable[np.ndarray]) -> None:
-        """Append sets (validated) and index their members."""
-        for members in new_sets:
-            members = np.asarray(members, dtype=np.int64)
-            if members.size and (members.min() < 0 or members.max() >= self.n_nodes):
-                raise EstimationError("RR set contains out-of-range node ids")
-            sid = len(self.sets)
-            self.sets.append(members)
-            self.member_total += int(members.size)
-            for v in members:
-                self.cover_lists[v].append(sid)
+        """List-of-arrays convenience wrapper over :meth:`extend_flat`."""
+        members, indptr = _flatten_sets(new_sets)
+        self.extend_flat(members, indptr)
+
+    def sets_containing(self, node: int) -> np.ndarray:
+        """Ids (ascending) of all stored sets that contain *node*."""
+        if self._inv_indptr is None:
+            lens = np.diff(self.indptr)
+            sids = np.repeat(np.arange(self.size, dtype=np.int64), lens)
+            self._inv_indptr, self._inv_sets = build_inverted_index(
+                self.members, sids, self.n_nodes
+            )
+        return self._inv_sets[self._inv_indptr[node] : self._inv_indptr[node + 1]]
+
+    def set_members(self, sid: int) -> np.ndarray:
+        """Member ids of set *sid* (a CSR slice view)."""
+        return self.members[self.indptr[sid] : self.indptr[sid + 1]]
 
     @property
     def size(self) -> int:
         """Number of stored sets."""
-        return len(self.sets)
+        return self.indptr.size - 1
+
+    @property
+    def member_total(self) -> int:
+        """Total stored member entries across all sets."""
+        return int(self.members.size)
 
     def memory_bytes(self) -> int:
         """Footprint of the shared sets + inverted index."""
@@ -239,14 +380,14 @@ class SharedRRCollection:
     :class:`RRCollection` (residual counts, covering, Eq.-10 fractions,
     Alg.-3 absorption), but stores only ``covered`` flags and the count
     vector privately.  ``theta`` is the number of store sets this ad has
-    *adopted*; adopting more sets (after an Eq.-10 growth step) indexes
-    the new suffix of the shared store.
+    *adopted*; adopting more sets (after an Eq.-10 growth step) counts
+    the new suffix of the shared store with one ``np.bincount``.
     """
 
     def __init__(self, store: SharedRRStore) -> None:
         self.store = store
         self.n_nodes = store.n_nodes
-        self.covered: list[bool] = []
+        self.covered = np.zeros(0, dtype=bool)
         self.covered_total = 0
         self.counts = np.zeros(store.n_nodes, dtype=np.int64)
         self._adopted = 0
@@ -259,27 +400,32 @@ class SharedRRCollection:
     def adopt(self, upto: int, seeds: Sequence[int] = ()) -> int:
         """Adopt store sets ``[adopted, upto)``; seed-hit sets absorb as covered.
 
-        Mirrors :meth:`RRCollection.add_sets` semantics (Algorithm 3's
-        refresh); returns the number of newly absorbed covered sets.
+        Mirrors :meth:`RRCollection.add_sets_flat` semantics (Algorithm
+        3's refresh); returns the number of newly absorbed covered sets.
         """
         if upto > self.store.size:
             raise EstimationError(
                 f"cannot adopt {upto} sets; store only holds {self.store.size}"
             )
-        seed_mask = np.zeros(self.n_nodes, dtype=bool)
-        for s in seeds:
-            seed_mask[int(s)] = True
-        absorbed = 0
-        for sid in range(self._adopted, upto):
-            members = self.store.sets[sid]
-            if members.size and seed_mask[members].any():
-                self.covered.append(True)
-                self.covered_total += 1
-                absorbed += 1
-                continue
-            self.covered.append(False)
-            self.counts[members] += 1
-        self._adopted = max(self._adopted, upto)
+        if upto <= self._adopted:
+            return 0
+        store = self.store
+        lo, hi = store.indptr[self._adopted], store.indptr[upto]
+        members = store.members[lo:hi]
+        indptr = store.indptr[self._adopted : upto + 1] - lo
+        lens = np.diff(indptr)
+        if seeds is not None and len(seeds):
+            hits = _segment_counts(_seed_mask(self.n_nodes, seeds)[members], indptr)
+            covered_new = hits > 0
+        else:
+            covered_new = np.zeros(upto - self._adopted, dtype=bool)
+        absorbed = int(covered_new.sum())
+        live_members = members[np.repeat(~covered_new, lens)]
+        if live_members.size:
+            self.counts += np.bincount(live_members, minlength=self.n_nodes)
+        self.covered = np.concatenate([self.covered, covered_new])
+        self.covered_total += absorbed
+        self._adopted = upto
         return absorbed
 
     def residual_count(self, node: int) -> int:
@@ -298,16 +444,7 @@ class SharedRRCollection:
         self, costs: np.ndarray, allowed: np.ndarray, window: int | None = None
     ) -> int | None:
         """Same selection rule as :meth:`RRCollection.best_node_by_ratio`."""
-        if not allowed.any():
-            return None
-        candidate_idx = np.flatnonzero(allowed)
-        if window is not None and window < candidate_idx.size:
-            cand_counts = self.counts[candidate_idx]
-            top = np.argpartition(-cand_counts, window - 1)[:window]
-            candidate_idx = candidate_idx[top]
-        safe_costs = np.maximum(costs[candidate_idx], 1e-12)
-        ratios = self.counts[candidate_idx] / safe_costs
-        return int(candidate_idx[int(np.argmax(ratios))])
+        return _best_by_ratio(self.counts, costs, allowed, window)
 
     def max_residual_fraction(self, allowed: np.ndarray) -> float:
         """``F^max_{R_i}`` over this ad's residual view (Eq. 10)."""
@@ -317,28 +454,38 @@ class SharedRRCollection:
 
     def mark_covered_by(self, node: int) -> int:
         """Cover this ad's uncovered adopted sets containing *node*."""
-        newly = 0
-        for sid in self.store.cover_lists[node]:
-            if sid >= self._adopted or self.covered[sid]:
-                continue
-            self.covered[sid] = True
-            self.covered_total += 1
-            newly += 1
-            self.counts[self.store.sets[sid]] -= 1
-        return newly
+        ids = self.store.sets_containing(node)
+        ids = ids[ids < self._adopted]
+        fresh = ids[~self.covered[ids]]
+        if not fresh.size:
+            return 0
+        self.covered[fresh] = True
+        self.covered_total += int(fresh.size)
+        dead = _gather_segments(self.store.members, self.store.indptr, fresh)
+        self.counts -= np.bincount(dead, minlength=self.n_nodes)
+        return int(fresh.size)
 
     def memory_bytes(self) -> int:
         """Private overlay only; the shared store is accounted once."""
-        return len(self.covered) + self.counts.nbytes
+        return self.covered.size + self.counts.nbytes
+
+
+def estimate_spread_flat(
+    members: np.ndarray, indptr: np.ndarray, seed_set, n_nodes: int
+) -> float:
+    """Unbiased spread estimate ``n · F_R(S)`` from a flat CSR RR sample."""
+    n_sets = indptr.size - 1
+    if n_sets < 1:
+        raise EstimationError("cannot estimate spread from an empty sample")
+    seeds = np.asarray(sorted(set(int(v) for v in seed_set)), dtype=np.int64)
+    hit_members = np.isin(members, seeds)
+    hit = int((_segment_counts(hit_members, indptr) > 0).sum())
+    return n_nodes * hit / n_sets
 
 
 def estimate_spread_from_sets(sets: Sequence[np.ndarray], seed_set, n_nodes: int) -> float:
     """Unbiased spread estimate ``n · F_R(S)`` from a static RR sample."""
     if not sets:
         raise EstimationError("cannot estimate spread from an empty sample")
-    members = set(int(v) for v in seed_set)
-    hit = 0
-    for rr in sets:
-        if any(int(v) in members for v in rr):
-            hit += 1
-    return n_nodes * hit / len(sets)
+    members, indptr = _flatten_sets(sets)
+    return estimate_spread_flat(members, indptr, seed_set, n_nodes)

@@ -96,9 +96,12 @@ class KPTEstimator:
 
     def _ensure_samples(self, count: int) -> None:
         count = min(count, self.max_samples)
-        while len(self._widths) < count:
-            _, width = self.sampler.sample_with_width(self.rng)
-            self._widths.append(width)
+        deficit = count - len(self._widths)
+        if deficit > 0:
+            # One flat batch per stage: roots are drawn vectorized and the
+            # member ids are discarded, only widths are retained.
+            widths = self.sampler.sample_batch_widths(deficit, self.rng)
+            self._widths.extend(int(w) for w in widths)
 
     def estimate(self, s: int) -> float:
         """Lower bound for ``OPT_s`` (at least 1.0, since any seed reaches itself)."""

@@ -16,7 +16,8 @@ class TestStore:
         store = SharedRRStore(4)
         store.extend(sets([0, 1], [1, 2]))
         assert store.size == 2
-        assert store.cover_lists[1] == [0, 1]
+        assert store.sets_containing(1).tolist() == [0, 1]
+        assert store.sets_containing(3).tolist() == []
         assert store.member_total == 4
 
     def test_out_of_range_rejected(self):
