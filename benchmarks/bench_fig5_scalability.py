@@ -6,6 +6,11 @@ fully competitive marketplace):
 * (a, b) runtime grows roughly linearly in h, with TI-CSRM slightly
   slower than TI-CARM;
 * (c, d) runtime grows with the per-ad budget, TI-CARM's curve flatter.
+
+All runs go through the sampler-backend seam (``bench_config``'s
+``sampler_backend`` / ``workers``, settable via ``REPRO_BENCH_WORKERS``)
+so the scalability figures exercise the same code path ``--workers``
+users get — never a privately constructed sampler.
 """
 
 import numpy as np
@@ -30,7 +35,12 @@ def test_fig5_runtime_vs_advertisers(benchmark, dataset_name, request, bench_con
         h_values=H_VALUES,
     )
     text = format_table(rows)
-    print(f"\n== Figure 5(a,b): runtime vs h ({dataset.name}) ==\n" + text)
+    header = (
+        f"\n== Figure 5(a,b): runtime vs h ({dataset.name}, "
+        f"backend={bench_config.sampler_backend}"
+        f"{f', workers={bench_config.workers}' if bench_config.workers else ''}) ==\n"
+    )
+    print(header + text)
     save_report(f"fig5_advertisers_{dataset.name}", text)
 
     for algo in ("TI-CSRM", "TI-CARM"):
@@ -58,7 +68,12 @@ def test_fig5_runtime_vs_budget(benchmark, dataset_name, request, bench_config):
         h=5,
     )
     text = format_table(rows)
-    print(f"\n== Figure 5(c,d): runtime vs budget ({dataset.name}) ==\n" + text)
+    header = (
+        f"\n== Figure 5(c,d): runtime vs budget ({dataset.name}, "
+        f"backend={bench_config.sampler_backend}"
+        f"{f', workers={bench_config.workers}' if bench_config.workers else ''}) ==\n"
+    )
+    print(header + text)
     save_report(f"fig5_budgets_{dataset.name}", text)
 
     for algo in ("TI-CSRM", "TI-CARM"):

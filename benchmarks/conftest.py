@@ -21,6 +21,12 @@ from repro.experiments.datasets import build_dataset
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
+# Sampler-backend seam for all benches: REPRO_BENCH_WORKERS > 1 routes
+# every engine run through the shared-memory parallel backend, so the
+# figures measure exactly the code path a --workers user gets.  Default
+# (0) is the serial backend — bit-identical to pre-seam benches.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+
 
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
@@ -34,6 +40,8 @@ def bench_config() -> ExperimentConfig:
         scalability_window=200,
         grid_mode="paper" if FULL else "quick",
         seed=7,
+        sampler_backend="parallel" if BENCH_WORKERS > 1 else "serial",
+        workers=BENCH_WORKERS,
     )
 
 

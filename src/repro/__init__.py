@@ -46,7 +46,17 @@ from repro.diffusion import (
     estimate_singleton_spreads_rr,
     exact_spread,
 )
-from repro.rrset import RRSampler, RRCollection, sample_size, KPTEstimator
+from repro.rrset import (
+    RRSampler,
+    RRCollection,
+    sample_size,
+    KPTEstimator,
+    SamplerBackend,
+    SerialBackend,
+    ParallelBackend,
+    SharedGraphPool,
+    make_backend,
+)
 from repro.incentives import INCENTIVE_MODELS, compute_incentives
 from repro.core import (
     Advertiser,
@@ -100,6 +110,11 @@ __all__ = [
     "RRCollection",
     "sample_size",
     "KPTEstimator",
+    "SamplerBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "SharedGraphPool",
+    "make_backend",
     "INCENTIVE_MODELS",
     "compute_incentives",
     "Advertiser",

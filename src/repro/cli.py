@@ -44,11 +44,14 @@ def _dataset_kwargs(args) -> dict:
 
 
 def _config(args) -> ExperimentConfig:
+    workers = getattr(args, "workers", 0) or 0
     return ExperimentConfig(
         eps=args.eps,
         theta_cap=args.theta_cap,
         grid_mode=args.grid,
         seed=args.seed,
+        sampler_backend="parallel" if workers > 1 else "serial",
+        workers=workers,
     )
 
 
@@ -168,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--theta-cap", type=int, default=2000, dest="theta_cap")
     common.add_argument("--seed", type=int, default=7)
     common.add_argument("--grid", choices=("quick", "paper"), default="quick")
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="RR sampler worker processes; > 1 selects the shared-memory "
+        "parallel backend, 0/1 the bit-reproducible serial one",
+    )
 
     p = sub.add_parser("datasets", parents=[common], help="list analog datasets")
     p.add_argument("--build", action="store_true", help="build and show stats")

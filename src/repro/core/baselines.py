@@ -32,6 +32,8 @@ def pagerank_gr(
     theta_cap: int | None = DEFAULT_THETA_CAP,
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
+    sampler_backend: str = "serial",
+    workers: int | None = None,
     seed=None,
 ) -> AllocationResult:
     """PageRank candidates, greedy (max marginal revenue) assignment."""
@@ -44,6 +46,8 @@ def pagerank_gr(
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        sampler_backend=sampler_backend,
+        workers=workers,
         seed=seed,
         algorithm_name="PageRank-GR",
     )
@@ -58,6 +62,8 @@ def pagerank_rr(
     theta_cap: int | None = DEFAULT_THETA_CAP,
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
+    sampler_backend: str = "serial",
+    workers: int | None = None,
     seed=None,
 ) -> AllocationResult:
     """PageRank candidates, round-robin assignment over advertisers."""
@@ -70,6 +76,8 @@ def pagerank_rr(
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        sampler_backend=sampler_backend,
+        workers=workers,
         seed=seed,
         algorithm_name="PageRank-RR",
     )

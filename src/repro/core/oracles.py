@@ -23,8 +23,8 @@ from repro._rng import as_generator
 from repro.diffusion.montecarlo import estimate_spread
 from repro.diffusion.worlds import exact_spread
 from repro.errors import EstimationError
+from repro.rrset.backend import SharedGraphPool, make_backend, resolve_backend
 from repro.rrset.collection import build_inverted_index
-from repro.rrset.sampler import RRSampler
 from repro.core.instance import RMInstance
 
 
@@ -121,7 +121,19 @@ class RRStaticOracle(SpreadOracle):
     independent of the one that produced it.
     """
 
-    def __init__(self, instance: RMInstance, n_samples: int = 10_000, seed=None) -> None:
+    def __init__(
+        self,
+        instance: RMInstance,
+        n_samples: int = 10_000,
+        seed=None,
+        backend: str = "serial",
+        workers: int | None = None,
+    ) -> None:
+        """*backend* / *workers* select the sampling backend (see
+        :func:`repro.rrset.backend.make_backend`); the default is
+        bit-identical to the pre-seam oracle.  With the parallel backend
+        all ads draw through one worker pool, torn down before the
+        constructor returns."""
         super().__init__(instance)
         if n_samples < 1:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
@@ -131,13 +143,29 @@ class RRStaticOracle(SpreadOracle):
         # sampler's flat batch output.
         self._memberships: list[tuple[np.ndarray, np.ndarray]] = []
         n = instance.graph.n
-        for i in range(instance.h):
-            sampler = RRSampler(instance.graph, instance.ad_probs[i])
-            members, indptr = sampler.sample_batch_flat(n_samples, rng)
-            sids = np.repeat(
-                np.arange(n_samples, dtype=np.int64), np.diff(indptr)
-            )
-            self._memberships.append(build_inverted_index(members, sids, n))
+        backend, workers = resolve_backend(backend, workers)
+        pool = (
+            SharedGraphPool(instance.graph, workers)
+            if backend == "parallel" and workers > 1
+            else None
+        )
+        try:
+            for i in range(instance.h):
+                sampler = make_backend(
+                    instance.graph,
+                    instance.ad_probs[i],
+                    backend,
+                    workers=workers,
+                    pool=pool,
+                )
+                members, indptr = sampler.sample_batch_flat(n_samples, rng)
+                sids = np.repeat(
+                    np.arange(n_samples, dtype=np.int64), np.diff(indptr)
+                )
+                self._memberships.append(build_inverted_index(members, sids, n))
+        finally:
+            if pool is not None:
+                pool.close()
 
     def _spread_uncached(self, ad: int, seeds: frozenset) -> float:
         inv_indptr, inv_sets = self._memberships[ad]

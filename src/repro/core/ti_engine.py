@@ -43,8 +43,16 @@ Documented deviations from the pseudocode (DESIGN.md §4):
 
 Performance notes (flat data plane + lazy candidates):
 
-* RR sets are drawn with :meth:`RRSampler.sample_batch_flat` and stored
-  in flat CSR collections; all coverage maintenance is vectorized.
+* RR sets are drawn through a pluggable
+  :class:`~repro.rrset.backend.SamplerBackend` (``sampler_backend=
+  "serial" | "parallel"``, ``workers=N``; see docs/ARCHITECTURE.md).
+  ``serial`` delegates to :meth:`RRSampler.sample_batch_flat` and is
+  bit-identical to the pre-seam engine; ``parallel`` fans each batch
+  over a shared-memory worker pool owned by the run (one pool serves
+  all ads) and is deterministic for a fixed ``(seed, workers)`` pair
+  but draws a different — equally valid — sample than serial.  Sets are
+  stored in flat CSR collections; all coverage maintenance is
+  vectorized.
   **RNG stream:** each batch draws all its roots in one vectorized
   ``rng.integers`` call before any arc coin is flipped, whereas the
   legacy sampler interleaved one root draw with each set's coin flips.
@@ -75,10 +83,15 @@ import time
 import numpy as np
 
 from repro._rng import as_generator, spawn
-from repro.errors import AllocationError
+from repro.errors import AllocationError, EstimationError
 from repro.graph.pagerank import pagerank_order
+from repro.rrset.backend import (
+    SamplerBackend,
+    SharedGraphPool,
+    make_backend,
+    resolve_backend,
+)
 from repro.rrset.collection import RRCollection, SharedRRCollection, SharedRRStore
-from repro.rrset.sampler import RRSampler
 from repro.rrset.tim import DEFAULT_THETA_CAP, KPTEstimator, sample_size
 from repro.core.allocation import Allocation, AllocationResult
 from repro.core.instance import RMInstance
@@ -112,7 +125,7 @@ class _AdState:
     )
 
     def __init__(self) -> None:
-        self.sampler: RRSampler | None = None
+        self.sampler: SamplerBackend | None = None
         self.rng = None
         self.kpt: KPTEstimator | None = None
         self.collection = None  # RRCollection or SharedRRCollection
@@ -149,6 +162,8 @@ class TIEngine:
         kpt_max_samples: int = 5_000,
         share_samples: bool = False,
         lazy_candidates: bool = True,
+        sampler_backend: str = "serial",
+        workers: int | None = None,
         blocked=None,
         seed=None,
         algorithm_name: str | None = None,
@@ -159,6 +174,10 @@ class TIEngine:
             )
         if selector not in SELECTORS:
             raise AllocationError(f"unknown selector {selector!r}; options: {SELECTORS}")
+        try:
+            sampler_backend, workers = resolve_backend(sampler_backend, workers)
+        except EstimationError as exc:
+            raise AllocationError(str(exc)) from None
         if eps <= 0:
             raise AllocationError(f"eps must be positive, got {eps}")
         if window is not None and window < 1:
@@ -177,6 +196,13 @@ class TIEngine:
         # docstring); lazy_candidates=False forces a full rescan per round
         # and exists for verification/benchmark comparisons.
         self.lazy_candidates = bool(lazy_candidates) and window is None
+        # Sampling backend seam (normalized by resolve_backend above):
+        # "serial" reproduces the bare RRSampler streams bit for bit;
+        # "parallel" (or workers > 1) fans batches over one
+        # SharedGraphPool shared by every ad of this run.
+        self.sampler_backend = sampler_backend
+        self.workers = workers
+        self._pool: SharedGraphPool | None = None
         self.blocked = None if blocked is None else np.asarray(blocked, dtype=bool)
         self.rng = as_generator(seed)
         self.algorithm_name = algorithm_name or f"TI[{candidate_rule}/{selector}]"
@@ -207,6 +233,22 @@ class TIEngine:
         """
         return self.instance.ad_probs[ad].tobytes()
 
+    def _make_sampler(self, ad: int) -> SamplerBackend:
+        """One backend per ad, all sharing this run's worker pool."""
+        inst = self.instance
+        if self.sampler_backend == "parallel" and self.workers > 1:
+            if self._pool is None:
+                self._pool = SharedGraphPool(inst.graph, self.workers)
+            return make_backend(
+                inst.graph, inst.ad_probs[ad], "parallel", pool=self._pool
+            )
+        return make_backend(
+            inst.graph,
+            inst.ad_probs[ad],
+            self.sampler_backend,
+            workers=self.workers,
+        )
+
     def _init_states(self) -> None:
         inst = self.instance
         n, h = inst.n, inst.h
@@ -230,7 +272,7 @@ class TIEngine:
             if self.share_samples:
                 key = self._prob_group_key(ad)
                 if key not in groups:
-                    sampler = RRSampler(inst.graph, inst.ad_probs[ad])
+                    sampler = self._make_sampler(ad)
                     kpt = (
                         KPTEstimator(
                             sampler,
@@ -249,7 +291,7 @@ class TIEngine:
                 state.kpt = kpt
                 state.collection = SharedRRCollection(store)
             else:
-                state.sampler = RRSampler(inst.graph, inst.ad_probs[ad])
+                state.sampler = self._make_sampler(ad)
                 if self.opt_lower_spec == "kpt":
                     state.kpt = KPTEstimator(
                         state.sampler,
@@ -387,7 +429,20 @@ class TIEngine:
     # Main loop (lines 5–22 of Algorithm 2)
     # ------------------------------------------------------------------
     def run(self) -> AllocationResult:
-        """Execute the configured algorithm; returns the allocation result."""
+        """Execute the configured algorithm; returns the allocation result.
+
+        When the parallel sampler backend is active the run owns one
+        :class:`SharedGraphPool` (workers + shared-memory CSR blocks);
+        it is torn down before this method returns, success or not.
+        """
+        try:
+            return self._run()
+        finally:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def _run(self) -> AllocationResult:
         start = time.perf_counter()
         inst = self.instance
         h = inst.h
@@ -470,6 +525,8 @@ class TIEngine:
                 "share_samples": self.share_samples,
                 "lazy_candidates": self.lazy_candidates,
                 "selector": self.selector,
+                "sampler_backend": self.sampler_backend,
+                "workers": self.workers,
             },
         )
 

@@ -23,6 +23,8 @@ def ti_carm(
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
     share_samples: bool = False,
+    sampler_backend: str = "serial",
+    workers: int | None = None,
     seed=None,
 ) -> AllocationResult:
     """Run TI-CARM on *instance*.
@@ -40,6 +42,8 @@ def ti_carm(
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        sampler_backend=sampler_backend,
+        workers=workers,
         share_samples=share_samples,
         seed=seed,
         algorithm_name="TI-CARM",

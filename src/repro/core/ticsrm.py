@@ -30,6 +30,8 @@ def ti_csrm(
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
     share_samples: bool = False,
+    sampler_backend: str = "serial",
+    workers: int | None = None,
     blocked=None,
     seed=None,
 ) -> AllocationResult:
@@ -49,6 +51,8 @@ def ti_csrm(
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        sampler_backend=sampler_backend,
+        workers=workers,
         share_samples=share_samples,
         blocked=blocked,
         seed=seed,

@@ -36,6 +36,13 @@ class ExperimentConfig:
     grid_mode: str = "quick"
     # Base RNG seed for everything derived from this config.
     seed: int = 7
+    # RR sampling backend seam (docs/ARCHITECTURE.md): "serial" is
+    # bit-identical to the bare sampler; "parallel" fans batches over a
+    # shared-memory worker pool.  workers = 0 means "backend default"
+    # (serial stays in-process; parallel uses the machine's CPU count);
+    # any workers > 1 upgrades "serial" to "parallel".
+    sampler_backend: str = "serial"
+    workers: int = 0
 
     def quick(self) -> "ExperimentConfig":
         """A cheaper copy for smoke tests."""

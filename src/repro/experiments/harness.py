@@ -50,6 +50,8 @@ def run_algorithm(
         theta_cap=config.theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=config.kpt_max_samples,
+        sampler_backend=config.sampler_backend,
+        workers=config.workers or None,
         seed=seed,
     )
     if algorithm == "TI-CSRM":

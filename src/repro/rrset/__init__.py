@@ -1,6 +1,15 @@
 """Reverse-reachable set machinery (Borgs et al.; Tang et al. TIM)."""
 
-from repro.rrset.sampler import RRSampler
+from repro.rrset.sampler import RRSampler, sample_batch_flat_kernel
+from repro.rrset.backend import (
+    BACKENDS,
+    ParallelBackend,
+    SamplerBackend,
+    SerialBackend,
+    SharedGraphPool,
+    make_backend,
+    resolve_backend,
+)
 from repro.rrset.collection import (
     RRCollection,
     SharedRRCollection,
@@ -16,6 +25,14 @@ from repro.rrset.tim import (
 
 __all__ = [
     "RRSampler",
+    "sample_batch_flat_kernel",
+    "BACKENDS",
+    "SamplerBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "SharedGraphPool",
+    "make_backend",
+    "resolve_backend",
     "RRCollection",
     "SharedRRCollection",
     "SharedRRStore",

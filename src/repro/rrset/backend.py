@@ -1,0 +1,556 @@
+"""Pluggable RR sampling backends: serial and shared-memory parallel.
+
+Every consumer of RR sets — :class:`~repro.core.ti_engine.TIEngine`,
+TIM's KPT estimator, the static RR oracle, the singleton-spread pricer,
+the benchmark harness — draws batches through one seam, a
+:class:`SamplerBackend`, instead of touching :class:`RRSampler`
+directly.  Two implementations exist:
+
+* :class:`SerialBackend` — a thin delegate around :class:`RRSampler`.
+  Bit-identical to calling the sampler yourself: same RNG stream, same
+  arrays.
+* :class:`ParallelBackend` — fans :func:`sample_batch_flat_kernel` out
+  over a persistent pool of worker processes.  The graph's reverse CSR
+  (``in_indptr``, ``in_tails``) and each registered probability vector
+  (already permuted to in-CSR slot order) live in
+  :mod:`multiprocessing.shared_memory` blocks created once per pool;
+  workers attach by name and never copy them.  A batch of ``count``
+  sets is split into one shard per worker (balanced, a pure function of
+  ``(count, workers)``); each shard samples under its own
+  :class:`numpy.random.SeedSequence`-spawned generator, and the shards
+  are merged back into a single CSR pair in shard order.
+
+RNG-stream contract (docs/ARCHITECTURE.md §RNG):
+
+* ``workers == 1`` executes in-process with the caller's generator —
+  **bit-identical** to :class:`SerialBackend` (and hence to
+  :meth:`RRSampler.sample_batch_flat`).
+* ``workers >= 2`` consumes exactly **one** ``rng.integers`` draw from
+  the caller's generator per batch, to derive a root
+  :class:`~numpy.random.SeedSequence`; shard ``k`` samples with
+  ``default_rng(root.spawn(shards)[k])``.  The output is a valid
+  i.i.d. RR sample from the same distribution, deterministic for a
+  fixed ``(seed, workers)`` pair, but *different* from the serial
+  stream — the same trade the flat batch sampler already made against
+  the legacy per-set sampler.
+
+One pool (one set of worker processes + shared-memory segments) can
+serve many ads: probability vectors are registered with
+:meth:`SharedGraphPool.register_probs`, which dedups by content, so a
+fully competitive marketplace shares one block.  Pools must be
+:meth:`closed <SharedGraphPool.close>` (or used as context managers) to
+release the shared memory; backends that own their pool close it with
+themselves, and every pool also registers an :mod:`atexit` guard.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing as mp
+import os
+import sys
+from abc import ABC, abstractmethod
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.errors import EstimationError
+from repro.graph.digraph import DiGraph
+from repro.rrset.sampler import (
+    DEFAULT_CHUNK_BYTES,
+    RRSampler,
+    batch_widths,
+    sample_batch_flat_kernel,
+    validate_edge_probs,
+)
+
+BACKENDS = ("serial", "parallel")
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def default_workers() -> int:
+    """Worker count used when a parallel backend is requested without one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def resolve_backend(backend: str, workers: int | None) -> tuple[str, int | None]:
+    """Normalize a ``(backend, workers)`` spec to its effective form.
+
+    The one place the selection rule lives (engine, oracle, factory and
+    CLI all call it): ``workers`` > 1 upgrades ``"serial"`` to
+    ``"parallel"``; a parallel spec with ``workers`` of ``None``/0
+    resolves to :func:`default_workers`.  Returns the effective
+    ``(backend, workers)`` — ``workers`` is a positive ``int`` for
+    parallel, ``None`` for serial.
+    """
+    if backend not in BACKENDS:
+        raise EstimationError(f"unknown backend {backend!r}; options: {BACKENDS}")
+    if workers is not None and workers < 0:
+        raise EstimationError(f"workers must be non-negative, got {workers}")
+    if backend == "serial" and (workers or 0) > 1:
+        backend = "parallel"
+    if backend == "parallel":
+        return backend, int(workers) if workers else default_workers()
+    return "serial", None
+
+
+def shard_counts(count: int, shards: int) -> list[int]:
+    """Balanced shard sizes for a *count*-set batch: a pure function of
+    ``(count, shards)`` so parallel streams are reproducible.
+
+    The first ``count % shards`` shards get one extra set; zero-size
+    shards are dropped, so fewer than *shards* entries may be returned.
+    """
+    if shards < 1:
+        raise EstimationError(f"shards must be >= 1, got {shards}")
+    base, extra = divmod(count, shards)
+    sizes = [base + (1 if k < extra else 0) for k in range(shards)]
+    return [s for s in sizes if s > 0]
+
+
+def merge_shards(
+    parts: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-shard ``(members, indptr)`` CSR pairs in order.
+
+    Pure offset arithmetic — the set contents are never re-split, so the
+    result can be handed to :meth:`RRCollection.add_sets_flat` /
+    :meth:`SharedRRStore.extend_flat` as one batch.
+    """
+    if not parts:
+        return _EMPTY_I64.copy(), np.zeros(1, dtype=np.int64)
+    members = np.concatenate([m for m, _ in parts])
+    offsets = np.cumsum([0] + [int(m.size) for m, _ in parts])
+    indptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64)]
+        + [p[1:] + off for (_, p), off in zip(parts, offsets)]
+    ).astype(np.int64)
+    return members, indptr
+
+
+class SamplerBackend(ABC):
+    """Batch RR-set sampling seam shared by all consumers.
+
+    Implementations expose the same surface as the flat half of
+    :class:`RRSampler` — :meth:`sample_batch_flat`,
+    :meth:`sample_batch`, :meth:`sample_batch_widths` — plus a
+    :meth:`close` for backends holding OS resources.  ``graph`` and
+    ``probs`` (canonical edge order, ``float64[m]``) are readable
+    attributes on every backend.
+    """
+
+    graph: DiGraph
+    probs: np.ndarray
+
+    @abstractmethod
+    def sample_batch_flat(self, count: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+        """Draw *count* RR sets as one flat ``(members, indptr)`` CSR pair.
+
+        Same output contract as :meth:`RRSampler.sample_batch_flat`:
+        both arrays ``int64``, freshly allocated, owned by the caller.
+        """
+
+    def sample_batch(self, count: int, rng=None) -> list[np.ndarray]:
+        """Draw *count* RR sets as a list of member arrays (convenience)."""
+        members, indptr = self.sample_batch_flat(count, rng)
+        return [members[indptr[k] : indptr[k + 1]].copy() for k in range(count)]
+
+    def sample_batch_widths(self, count: int, rng=None) -> np.ndarray:
+        """Widths (in-arc counts into members) of *count* fresh RR sets."""
+        members, indptr = self.sample_batch_flat(count, rng)
+        return batch_widths(self.graph.in_indptr, members, indptr)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; no-op for serial)."""
+
+    def __enter__(self) -> "SamplerBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(SamplerBackend):
+    """In-process backend delegating to one :class:`RRSampler`.
+
+    Bit-identical to the bare sampler for every method and RNG stream
+    (the width computation is the shared :func:`batch_widths` on both
+    sides); exists so code written against the seam pays nothing for it.
+    """
+
+    def __init__(self, graph: DiGraph, probs) -> None:
+        self._sampler = RRSampler(graph, probs)
+        self.graph = graph
+        self.probs = np.asarray(probs, dtype=np.float64)
+
+    def sample_batch_flat(self, count: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+        return self._sampler.sample_batch_flat(count, rng)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory worker pool
+# ----------------------------------------------------------------------
+def _preferred_start_method() -> str:
+    """``fork`` on Linux (cheap, tracker-safe), else ``spawn``.
+
+    Fork is restricted to Linux deliberately: on macOS a forked child
+    touching the Objective-C runtime (numpy/Accelerate) can abort —
+    CPython itself switched the macOS default to spawn in 3.8.
+    """
+    if sys.platform.startswith("linux") and "fork" in mp.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without re-registering it for cleanup.
+
+    Python 3.13+ supports ``track=False``; older versions fall back to
+    plain attach, which is safe under the ``fork`` start method (one
+    resource tracker, the creator unregisters on unlink).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(
+    task_queue,
+    result_queue,
+    topo: tuple[str, str, int, int],
+    chunk_bytes: int,
+) -> None:  # pragma: no cover - runs in child processes
+    """Worker loop: attach shared CSR views, sample shards until told to stop.
+
+    Tasks are ``(task_id, prob_shm_name, count, seed_seq)``; results are
+    ``(task_id, members, indptr)`` (or ``(task_id, exc)`` on failure).
+    A ``None`` task shuts the worker down.
+    """
+    indptr_name, tails_name, n, m = topo
+    segments = []
+    try:
+        indptr_shm = _attach_shm(indptr_name)
+        tails_shm = _attach_shm(tails_name)
+        segments += [indptr_shm, tails_shm]
+        in_indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=indptr_shm.buf)
+        in_tails = np.ndarray((m,), dtype=np.int64, buffer=tails_shm.buf)
+        probs_cache: dict[str, np.ndarray] = {}
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            task_id, prob_name, count, seed_seq = task
+            try:
+                if prob_name not in probs_cache:
+                    shm = _attach_shm(prob_name)
+                    segments.append(shm)
+                    probs_cache[prob_name] = np.ndarray(
+                        (m,), dtype=np.float64, buffer=shm.buf
+                    )
+                members, indptr = sample_batch_flat_kernel(
+                    n,
+                    in_indptr,
+                    in_tails,
+                    probs_cache[prob_name],
+                    count,
+                    np.random.default_rng(seed_seq),
+                    chunk_bytes,
+                )
+                result_queue.put((task_id, members, indptr))
+            except Exception as exc:  # surface, don't hang the parent
+                result_queue.put((task_id, exc))
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except OSError:
+                pass
+
+
+class SharedGraphPool:
+    """Persistent worker pool over one graph's shared-memory reverse CSR.
+
+    Created once per (graph, worker count); serves any number of
+    probability vectors via :meth:`register_probs` and any number of
+    batches via :meth:`sample_shards`.  The topology blocks
+    (``in_indptr``, ``in_tails``) are written exactly once; workers map
+    them read-only-by-convention.  Not thread-safe: one dispatcher at a
+    time (matching the engine's single-threaded loop).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        workers: int,
+        *,
+        start_method: str | None = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        if workers < 1:
+            raise EstimationError(f"workers must be >= 1, got {workers}")
+        if graph.n == 0:
+            raise EstimationError("cannot sample RR sets from an empty graph")
+        self.graph = graph
+        self.workers = int(workers)
+        self.chunk_bytes = int(chunk_bytes)
+        self._ctx = mp.get_context(start_method or _preferred_start_method())
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._prob_blocks: dict[bytes, str] = {}
+        self._procs: list = []
+        self._task_counter = 0
+        self._closed = False
+
+        indptr_shm = self._create_block(graph.in_indptr)
+        tails_shm = self._create_block(graph.in_tails)
+        self._topo = (indptr_shm, tails_shm, graph.n, graph.m)
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        for _ in range(self.workers):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue, self._topo, self.chunk_bytes),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        atexit.register(self.close)
+
+    # -- shared-memory bookkeeping -------------------------------------
+    def _create_block(self, array: np.ndarray) -> str:
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        if array.nbytes:
+            np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[:] = array
+        self._segments.append(shm)
+        return shm.name
+
+    def register_probs(self, probs: np.ndarray) -> str:
+        """Publish an ad's arc probabilities; returns the block name.
+
+        *probs* is in canonical edge order; it is permuted to in-CSR
+        slot order here (once, in the parent) so workers index it
+        directly with in-CSR arc slots.  Content-identical vectors share
+        one block — a fully competitive marketplace registers once.
+        """
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.shape != (self.graph.m,):
+            raise EstimationError(
+                f"edge probabilities must have shape ({self.graph.m},), got {probs.shape}"
+            )
+        # Content key: a cryptographic digest keeps the "no accidental
+        # sharing" guarantee of comparing raw bytes (collisions are
+        # cryptographically negligible, unlike hash()) without pinning
+        # an 8·m-byte copy per distinct vector for the pool's lifetime.
+        key = hashlib.sha256(probs.tobytes()).digest()
+        if key not in self._prob_blocks:
+            probs_in = np.ascontiguousarray(probs[self.graph.in_edge_ids])
+            self._prob_blocks[key] = self._create_block(probs_in)
+        return self._prob_blocks[key]
+
+    # -- dispatch ------------------------------------------------------
+    def sample_shards(
+        self,
+        prob_name: str,
+        counts: list[int],
+        seed_seqs: list[np.random.SeedSequence],
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Sample ``len(counts)`` shards concurrently; results in shard order.
+
+        Shard ``k`` draws ``counts[k]`` sets under
+        ``default_rng(seed_seqs[k])`` running the exact serial kernel, so
+        concatenating the returned pairs equals a single-process run of
+        the same shard plan (the parity tests assert this).
+        """
+        if self._closed:
+            raise EstimationError("pool is closed")
+        if len(counts) != len(seed_seqs):
+            raise EstimationError("counts and seed_seqs must have equal length")
+        base = self._task_counter
+        self._task_counter += len(counts)
+        for k, (count, seq) in enumerate(zip(counts, seed_seqs)):
+            self._task_queue.put((base + k, prob_name, int(count), seq))
+        results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        while len(results) < len(counts):
+            try:
+                payload = self._result_queue.get(timeout=10.0)
+            except Exception:
+                # A crashed worker (OOM kill, segfault) takes its shard
+                # with it; the batch can never complete, so fail fast
+                # rather than wait on the surviving idle workers.
+                if not all(p.is_alive() for p in self._procs):
+                    raise EstimationError(
+                        "a sampler worker died before completing the batch"
+                    ) from None
+                continue
+            if payload[0] < base:
+                continue  # stale result of an earlier aborted batch
+            if len(payload) == 2 and isinstance(payload[1], Exception):
+                raise payload[1]
+            task_id, members, indptr = payload
+            results[task_id - base] = (
+                np.asarray(members, dtype=np.int64),
+                np.asarray(indptr, dtype=np.int64),
+            )
+        return [results[k] for k in range(len(counts))]
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and unlink all shared-memory blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            try:
+                self._task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for queue in (self._task_queue, self._result_queue):
+            try:
+                queue.close()
+                queue.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segments.clear()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "SharedGraphPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ParallelBackend(SamplerBackend):
+    """Process-parallel batch sampler over a :class:`SharedGraphPool`.
+
+    Parameters
+    ----------
+    graph, probs:
+        As for :class:`RRSampler` (*probs* in canonical edge order).
+    workers:
+        Worker process count; defaults to :func:`default_workers`.
+        ``workers == 1`` short-circuits to in-process execution with the
+        caller's generator — bit-identical to :class:`SerialBackend`.
+    pool:
+        An existing pool over the same graph to share (e.g. one pool for
+        all ads of an engine run).  When omitted the backend creates and
+        owns one, closing it in :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        probs,
+        *,
+        workers: int | None = None,
+        pool: SharedGraphPool | None = None,
+    ) -> None:
+        if graph.n == 0:
+            raise EstimationError("cannot sample RR sets from an empty graph")
+        self.graph = graph
+        self.probs = validate_edge_probs(graph, probs)
+        if pool is not None:
+            if pool.graph is not graph:
+                raise EstimationError("pool was built over a different graph")
+            self.workers = pool.workers
+            self._pool = pool
+            self._owns_pool = False
+        else:
+            _, self.workers = resolve_backend("parallel", workers)
+            self._pool = (
+                SharedGraphPool(graph, self.workers) if self.workers > 1 else None
+            )
+            self._owns_pool = self._pool is not None
+        self._closed = False
+        if self._pool is not None:
+            # The pool's shared block (registered above) is the only
+            # probs copy the workers need; no in-process delegate.
+            self._prob_name = self._pool.register_probs(self.probs)
+            self._serial = None
+        else:
+            # workers == 1: all sampling happens in-process through this
+            # delegate, bit-identically to SerialBackend.
+            self._prob_name = None
+            self._serial = RRSampler(graph, self.probs)
+
+    def sample_batch_flat(self, count: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+        """Draw *count* RR sets across the pool; one merged CSR pair.
+
+        See the module docstring for the RNG-stream contract.  Batches
+        smaller than the shard count still produce one shard per
+        non-empty share, preserving the ``(seed, workers)``
+        determinism guarantee.
+        """
+        if self._closed:
+            raise EstimationError("backend is closed")
+        if count < 0:
+            raise EstimationError(f"count must be non-negative, got {count}")
+        rng = as_generator(rng)
+        if count == 0:
+            # Stream-neutral on every backend: no RNG draw is consumed.
+            return _EMPTY_I64.copy(), np.zeros(1, dtype=np.int64)
+        if self._pool is None:
+            # workers == 1: in-process, caller's stream, bit-identical
+            # to SerialBackend.
+            return self._serial.sample_batch_flat(count, rng)
+        counts = shard_counts(count, self.workers)
+        root = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+        seqs = root.spawn(len(counts))
+        parts = self._pool.sample_shards(self._prob_name, counts, seqs)
+        return merge_shards(parts)
+
+    def close(self) -> None:
+        """Close this backend; further sampling raises.
+
+        An owned pool is shut down here; a shared pool stays up (it is
+        the creator's to close).  Closing is idempotent, and applies to
+        ``workers == 1`` backends too, so the lifecycle is uniform — a
+        closed parallel backend never silently degrades to a different
+        (serial) RNG stream.
+        """
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._closed = True
+
+
+def make_backend(
+    graph: DiGraph,
+    probs,
+    backend: str = "serial",
+    *,
+    workers: int | None = None,
+    pool: SharedGraphPool | None = None,
+) -> SamplerBackend:
+    """Build a :class:`SamplerBackend` from a spec string.
+
+    ``backend`` is ``"serial"`` or ``"parallel"``; *workers* / *pool*
+    apply to the parallel backend only.  The spec is normalized by
+    :func:`resolve_backend` — ``workers`` > 1 upgrades ``"serial"`` to
+    parallel (this is what lets a single ``--workers`` CLI flag select
+    the backend), and a parallel spec without a worker count uses
+    :func:`default_workers`.  Passing an existing *pool* implies
+    parallel regardless of the spec.
+    """
+    backend, workers = resolve_backend(backend, workers)
+    if backend == "serial" and pool is None:
+        return SerialBackend(graph, probs)
+    return ParallelBackend(graph, probs, workers=workers, pool=pool)

@@ -135,8 +135,23 @@ class RRCollection:
     ) -> int:
         """Append a flat CSR batch of RR sets (the sampler's output form).
 
-        Sets already hit by *seeds* count as covered immediately — they
-        are neither indexed nor counted (Algorithm 3's ``cov'`` refresh).
+        Parameters
+        ----------
+        members, indptr:
+            A CSR pair as produced by
+            :meth:`RRSampler.sample_batch_flat` or
+            :func:`repro.rrset.backend.merge_shards`: ``members`` is
+            ``int64[total]`` with node ids in ``[0, n_nodes)``;
+            ``indptr`` is ``int64[k + 1]``, non-decreasing, starting at
+            0 and ending at ``members.size``.  Both are **copied** into
+            the collection's own arrays — the caller keeps ownership of
+            (and may freely reuse) the inputs, and no view into them is
+            retained.
+        seeds:
+            Already-selected seed nodes; sets hit by any of them count
+            as covered immediately — they are neither indexed nor
+            counted (Algorithm 3's ``cov'`` refresh).
+
         Returns the number of newly absorbed covered sets.
         """
         members = np.ascontiguousarray(members, dtype=np.int64)
@@ -236,9 +251,13 @@ class RRCollection:
     def spread_estimate(self, node_or_set, n_nodes: int | None = None) -> float:
         """Static spread estimate ``n · F_R(S)`` over *all* sampled sets.
 
+        *node_or_set* is a scalar node id or an iterable of node ids
+        (each in ``[0, n_nodes)``); *n_nodes* overrides the population
+        size ``n`` in the estimator (defaults to the collection's own).
         Unlike the residual counts this intentionally includes covered
         sets, matching the unbiased-estimator definition.  One membership
-        mask lookup over the flat member array plus a segmented reduction.
+        mask lookup over the flat member array plus a segmented
+        reduction; read-only — no collection state is touched.
         """
         if self.theta == 0:
             raise EstimationError("cannot estimate spread from an empty collection")
@@ -258,8 +277,11 @@ class RRCollection:
     def mark_covered_by(self, node: int) -> int:
         """Cover every uncovered set containing *node* (Alg. 2, line 14).
 
-        Member counts of the covered sets are decremented so residual
-        counts stay equal to marginal coverages.  Returns the number of
+        Member counts of the covered sets are decremented (one ragged
+        gather + ``np.bincount`` over ``counts``, an ``int64[n_nodes]``
+        vector mutated in place) so residual counts stay equal to
+        marginal coverages.  Triggers a lazy inverted-index rebuild if
+        sets were added since the last query.  Returns the number of
         sets newly covered (the selected seed's ``cov_i``).
         """
         inv_indptr, inv_sets = self._inverted()
@@ -400,8 +422,14 @@ class SharedRRCollection:
     def adopt(self, upto: int, seeds: Sequence[int] = ()) -> int:
         """Adopt store sets ``[adopted, upto)``; seed-hit sets absorb as covered.
 
-        Mirrors :meth:`RRCollection.add_sets_flat` semantics (Algorithm
-        3's refresh); returns the number of newly absorbed covered sets.
+        *upto* is an exclusive store index (``<= store.size``); adoption
+        is monotone — calls with ``upto <= theta`` are no-ops returning
+        0.  The adopted suffix is read as CSR *views* into the shared
+        store (never copied); only this ad's private overlay — the
+        ``covered`` ``bool[theta]`` flags and the ``int64[n_nodes]``
+        residual ``counts`` — is (re)allocated here.  Mirrors
+        :meth:`RRCollection.add_sets_flat` semantics (Algorithm 3's
+        refresh); returns the number of newly absorbed covered sets.
         """
         if upto > self.store.size:
             raise EstimationError(

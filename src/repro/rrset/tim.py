@@ -82,11 +82,16 @@ class KPTEstimator:
 
     def __init__(
         self,
-        sampler: RRSampler,
+        sampler,
         ell: float = 1.0,
         rng=None,
         max_samples: int = 20_000,
     ) -> None:
+        """*sampler* is an :class:`RRSampler` or any
+        :class:`~repro.rrset.backend.SamplerBackend` — only
+        ``sample_batch_widths`` and the ``graph`` attribute are used, so
+        KPT estimation transparently inherits the engine's backend
+        (serial width streams are bit-identical through the seam)."""
         self.sampler = sampler
         self.ell = float(ell)
         self.rng = as_generator(rng)
