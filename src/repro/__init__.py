@@ -26,10 +26,19 @@ from repro.errors import (
     TopicModelError,
     InstanceError,
     AllocationError,
+    SpecError,
     EstimationError,
     ConvergenceError,
 )
-from repro.graph import DiGraph, pagerank, compute_stats
+from repro.graph import (
+    DiGraph,
+    pagerank,
+    compute_stats,
+    ingest_cached,
+    ingest_edge_list,
+    load_edge_list,
+    save_edge_list,
+)
 from repro.topics import (
     TopicDistribution,
     TICModel,
@@ -79,7 +88,14 @@ from repro.core import (
     theorem3_bound,
     tightness_instance,
 )
-from repro.experiments import ExperimentConfig, build_dataset
+from repro.experiments import (
+    ExperimentConfig,
+    GridSpec,
+    build_dataset,
+    build_edge_list_dataset,
+    register_edge_list_dataset,
+    run_grid,
+)
 
 __version__ = "1.0.0"
 
@@ -89,11 +105,16 @@ __all__ = [
     "TopicModelError",
     "InstanceError",
     "AllocationError",
+    "SpecError",
     "EstimationError",
     "ConvergenceError",
     "DiGraph",
     "pagerank",
     "compute_stats",
+    "ingest_cached",
+    "ingest_edge_list",
+    "load_edge_list",
+    "save_edge_list",
     "TopicDistribution",
     "TICModel",
     "weighted_cascade",
@@ -137,6 +158,10 @@ __all__ = [
     "theorem3_bound",
     "tightness_instance",
     "ExperimentConfig",
+    "GridSpec",
     "build_dataset",
+    "build_edge_list_dataset",
+    "register_edge_list_dataset",
+    "run_grid",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Gives downstream users the experiment pipeline without writing code:
 * ``run``       — run one algorithm on one experimental cell;
 * ``table``     — regenerate Table 1 or 2;
 * ``sweep``     — a Figure 2/3-style α sweep on one dataset;
+* ``grid``      — run a declarative scenario grid from a JSON spec;
+* ``ingest``    — parse a SNAP-style edge list (stats + ``.npz`` cache);
 * ``tightness`` — print the Figure 1 theory walkthrough numbers.
 
 Examples::
@@ -14,6 +16,8 @@ Examples::
     python -m repro run --dataset epinions_syn --algorithm TI-CSRM \\
         --incentives linear --alpha 1.5 --n 1000
     python -m repro sweep --dataset flixster_syn --models linear constant
+    python -m repro grid --spec specs/smoke.json
+    python -m repro ingest data/soc-Epinions1.txt --cache
     python -m repro table --which 1
     python -m repro tightness
 """
@@ -21,6 +25,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.experiments.config import ExperimentConfig
@@ -35,12 +40,33 @@ def _dataset_kwargs(args) -> dict:
     kwargs: dict = {}
     if args.n is not None:
         if args.dataset == "livejournal_syn":
-            kwargs["scale"] = max(int(args.n).bit_length() - 1, 6)
+            # The R-MAT generator sizes by 2**scale; round to the NEAREST
+            # power of two (bit_length()-1 silently rounded down, turning
+            # --n 1000 into 512 nodes).
+            kwargs["scale"] = max(round(math.log2(max(int(args.n), 1))), 6)
         else:
             kwargs["n"] = args.n
     if args.h is not None:
         kwargs["h"] = args.h
     return kwargs
+
+
+def _print_run_header(args, dataset) -> None:
+    """Echo the effective experiment sizing before results.
+
+    In particular the effective node count: R-MAT datasets round ``--n``
+    to a power of two, and the header makes that adjustment visible.
+    """
+    effective_n = dataset.graph.n
+    sizing = f"n={effective_n}"
+    if args.n is not None and args.n != effective_n:
+        sizing += f" (requested --n {args.n})"
+    workers = getattr(args, "workers", 0) or 0
+    backend = "parallel" if workers > 1 else "serial"
+    print(
+        f"# dataset={dataset.name} {sizing} m={dataset.graph.m} "
+        f"h={dataset.h} seed={args.seed} backend={backend}"
+    )
 
 
 def _config(args) -> ExperimentConfig:
@@ -74,6 +100,7 @@ def cmd_datasets(args) -> int:
 
 def cmd_run(args) -> int:
     dataset = build_dataset(args.dataset, **_dataset_kwargs(args))
+    _print_run_header(args, dataset)
     config = _config(args)
     instance = dataset.build_instance(
         incentive_model=args.incentives, alpha=args.alpha
@@ -96,6 +123,7 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     dataset = build_dataset(args.dataset, **_dataset_kwargs(args))
+    _print_run_header(args, dataset)
     config = _config(args)
     rows = run_alpha_sweep(
         dataset,
@@ -124,6 +152,69 @@ def cmd_table(args) -> int:
             for name in ("flixster_syn", "epinions_syn")
         ]
         print(format_table(table2_rows(datasets)))
+    return 0
+
+
+def cmd_grid(args) -> int:
+    from repro.experiments.grid import (
+        GridSpec,
+        default_manifest_path,
+        grid_table_rows,
+        run_grid,
+    )
+
+    spec = GridSpec.from_json(args.spec)
+    manifest = args.manifest or default_manifest_path(spec)
+    overrides: dict = {}
+    workers = getattr(args, "workers", 0) or 0
+    if workers:
+        overrides["workers"] = workers
+        overrides["sampler_backend"] = "parallel" if workers > 1 else "serial"
+    total = len(spec.cells())
+    print(f"# grid={spec.name} cells={total} seed={spec.seed} manifest={manifest}")
+
+    def progress(done, total, row):
+        if not args.quiet:
+            print(
+                f"# [{done}/{total}] {row['dataset']} {row['algorithm']} "
+                f"alpha={row['alpha']} -> revenue={row['revenue']:.1f}"
+            )
+
+    rows = run_grid(
+        spec,
+        manifest,
+        resume=not args.fresh,
+        config_overrides=overrides,
+        progress=progress,
+    )
+    table = format_table(grid_table_rows(rows))
+    print(table)
+    from repro.experiments.reporting import save_report
+
+    report_path = save_report(f"grid_{spec.name}", table)
+    print(f"# report saved to {report_path}")
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.graph.io import ingest_cached, ingest_edge_list
+    from repro.graph.stats import compute_stats
+
+    kwargs = dict(
+        n=args.n,
+        remap_ids=not args.no_remap,
+        drop_self_loops=not args.keep_self_loops,
+        dedupe=not args.no_dedupe,
+    )
+    if args.cache is not None:
+        result = ingest_cached(
+            args.path, args.cache or None, refresh=args.refresh, **kwargs
+        )
+    else:
+        result = ingest_edge_list(args.path, **kwargs)
+    print(format_table([result.stats_row()]))
+    stats = compute_stats(result.graph, name=args.path)
+    print(format_table([stats.as_row()]))
     return 0
 
 
@@ -210,6 +301,62 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table", parents=[common], help="regenerate Table 1/2")
     p.add_argument("--which", type=int, choices=(1, 2), default=1)
     p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser(
+        "grid", help="run a declarative scenario grid from a JSON spec"
+    )
+    p.add_argument("--spec", required=True, help="path to a GridSpec JSON file")
+    p.add_argument(
+        "--manifest",
+        default=None,
+        help="JSONL run manifest (default: <results dir>/grid_<name>.jsonl); "
+        "an existing manifest for the same spec is resumed",
+    )
+    p.add_argument(
+        "--fresh",
+        action="store_true",
+        help="overwrite the manifest instead of resuming it",
+    )
+    p.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="RR sampler worker processes for every cell (> 1 selects the "
+        "shared-memory parallel backend)",
+    )
+    p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser(
+        "ingest", help="parse a SNAP-style edge list and report its stats"
+    )
+    p.add_argument("path", help="text edge list (comments: # or %%)")
+    p.add_argument(
+        "--n", type=int, default=None, help="declared node count (validated)"
+    )
+    p.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="NPZ",
+        help="write/reuse an .npz parse cache (default: <path>.ingest.npz)",
+    )
+    p.add_argument(
+        "--refresh", action="store_true", help="force re-parse, ignoring the cache"
+    )
+    p.add_argument(
+        "--no-remap",
+        action="store_true",
+        help="require dense 0..n-1 ids instead of remapping",
+    )
+    p.add_argument(
+        "--keep-self-loops", action="store_true", help="keep self-loop arcs"
+    )
+    p.add_argument(
+        "--no-dedupe", action="store_true", help="keep duplicate arcs"
+    )
+    p.set_defaults(func=cmd_ingest)
 
     p = sub.add_parser(
         "tightness", parents=[common], help="Figure 1 theory walkthrough"

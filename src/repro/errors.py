@@ -32,6 +32,10 @@ class AllocationError(ReproError):
     """Raised when an allocation violates the problem's constraints."""
 
 
+class SpecError(ReproError):
+    """Raised for invalid scenario-grid specs or mismatched run manifests."""
+
+
 class EstimationError(ReproError):
     """Raised when a spread estimator is asked for an impossible quantity."""
 

@@ -4,8 +4,21 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import (
     Dataset,
     DATASET_BUILDERS,
+    PROB_MODELS,
     build_dataset,
+    build_edge_list_dataset,
     clear_dataset_cache,
+    register_edge_list_dataset,
+    unregister_dataset,
+)
+from repro.experiments.grid import (
+    GridCell,
+    GridSpec,
+    clear_grid_caches,
+    default_manifest_path,
+    grid_table_rows,
+    load_manifest,
+    run_grid,
 )
 from repro.experiments.harness import run_algorithm, run_algorithms, ALGORITHMS
 from repro.experiments.figures import (
@@ -13,6 +26,7 @@ from repro.experiments.figures import (
     run_figure4,
     run_figure5_advertisers,
     run_figure5_budgets,
+    figure5_grid_spec,
     run_diagnostics,
     run_ablation_epsilon,
 )
@@ -23,8 +37,20 @@ __all__ = [
     "ExperimentConfig",
     "Dataset",
     "DATASET_BUILDERS",
+    "PROB_MODELS",
     "build_dataset",
+    "build_edge_list_dataset",
     "clear_dataset_cache",
+    "register_edge_list_dataset",
+    "unregister_dataset",
+    "GridCell",
+    "GridSpec",
+    "clear_grid_caches",
+    "default_manifest_path",
+    "grid_table_rows",
+    "load_manifest",
+    "run_grid",
+    "figure5_grid_spec",
     "run_algorithm",
     "run_algorithms",
     "ALGORITHMS",

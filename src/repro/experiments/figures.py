@@ -154,6 +154,42 @@ def run_figure5_budgets(
     return rows
 
 
+def figure5_grid_spec(
+    dataset: str = "dblp_syn",
+    n: int | None = 2_000,
+    h_values: tuple[int, ...] = (1, 5, 10, 15, 20),
+    budget: float = 60.0,
+    alpha: float = 0.5,
+    window: int = 500,
+    seed: int = 7,
+) -> dict:
+    """The Figure 5(a,b) scaling sweep as a :class:`GridSpec` dict.
+
+    Running time vs number of advertisers at a fixed budget — the same
+    cells :func:`run_figure5_advertisers` iterates by hand, expressed
+    declaratively so ``python -m repro grid --spec specs/fig5.json``
+    reproduces the whole figure with a resumable manifest.  The committed
+    ``specs/fig5.json`` is this function's output with defaults.  The
+    window axis only affects TI-CSRM (TI-CARM has no windowed rule), so a
+    single ``windows=[window]`` entry covers both algorithms.
+    """
+    entry: dict = {"name": dataset}
+    if n is not None:
+        entry["n"] = n
+    return {
+        "name": "fig5",
+        "datasets": [entry],
+        "algorithms": ["TI-CSRM", "TI-CARM"],
+        "h": list(h_values),
+        "budgets": [budget],
+        "incentive_models": ["linear"],
+        "alphas": [alpha],
+        "windows": [window],
+        "seed": seed,
+        "config": {"eps": 0.5, "theta_cap": 2_000},
+    }
+
+
 def run_diagnostics(
     dataset: Dataset,
     config: ExperimentConfig,

@@ -1,0 +1,432 @@
+"""Declarative scenario grids over the Section-5 experiment space.
+
+A :class:`GridSpec` names the axes of a scenario matrix — datasets
+(synthetic analogs *or* ingested edge lists), algorithms, advertiser
+counts ``h``, budgets, CPEs, incentive models, α values and TI-CSRM
+windows — and :func:`run_grid` runs the full cross product:
+
+* **Deterministic per-cell seeds.**  Every cell derives its RNG seed from
+  the spec's root seed and the cell's parameter digest via
+  ``numpy.random.SeedSequence``, so a cell's result depends only on
+  ``(spec, root seed)`` — never on execution order, resume history, or
+  which other cells exist.
+
+* **Resumable JSONL manifests.**  Each completed cell is appended to a
+  manifest file as one JSON line; re-running the same spec skips
+  completed cells and finishes the rest.  The manifest header pins the
+  spec digest and the estimator config, so resuming against an edited
+  spec or different config fails loudly instead of mixing results.
+
+* **Backend threading.**  The spec's ``config`` block (or CLI
+  ``--workers``) selects the serial / shared-memory-parallel RR sampling
+  backend for every cell, exactly as in single runs.
+
+Specs are plain JSON (see ``specs/`` at the repo root)::
+
+    {
+      "name": "smoke",
+      "datasets": [{"name": "epinions_syn", "n": 150, "h": 3}],
+      "algorithms": ["TI-CSRM", "TI-CARM"],
+      "alphas": [0.5, 1.0],
+      "config": {"eps": 1.0, "theta_cap": 200}
+    }
+
+Dataset entries with a ``"path"`` key are ingested edge lists routed
+through :func:`repro.experiments.datasets.build_edge_list_dataset`; all
+other keys in the entry are builder keyword arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import (
+    Dataset,
+    build_dataset,
+    build_edge_list_dataset,
+)
+from repro.experiments.harness import ALGORITHMS, run_algorithm
+from repro.experiments.reporting import results_dir
+from repro.incentives.models import INCENTIVE_MODELS
+
+MANIFEST_VERSION = 1
+
+#: Manifest/table columns every cell row carries (besides the axes).
+CELL_RESULT_FIELDS = ("revenue", "seed_cost", "seeds", "runtime_s")
+
+
+def _canonical(data) -> str:
+    """Canonical JSON used for digests: sorted keys, no whitespace drift."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def dataset_label(entry: dict) -> str:
+    """Human-readable name of a dataset entry (synthetic or edge-list)."""
+    if "name" in entry:
+        return str(entry["name"])
+    if "path" in entry:
+        return os.path.splitext(os.path.basename(str(entry["path"])))[0]
+    raise SpecError(f"dataset entry needs a 'name' or 'path' key: {entry!r}")
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One point of the scenario matrix (a single algorithm run)."""
+
+    dataset: dict
+    algorithm: str
+    h: int | None
+    budget: float | None
+    cpe: float | None
+    incentive_model: str
+    alpha: float
+    window: int | None
+
+    def params(self) -> dict:
+        """The cell's axis values as a flat JSON-able dict."""
+        return {
+            "dataset": dataset_label(self.dataset),
+            "dataset_spec": dict(self.dataset),
+            "algorithm": self.algorithm,
+            "h": self.h,
+            "budget": self.budget,
+            "cpe": self.cpe,
+            "incentives": self.incentive_model,
+            "alpha": self.alpha,
+            "window": self.window,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        """Digest of the cell parameters — stable across spec reordering."""
+        return hashlib.sha256(_canonical(self.params()).encode()).hexdigest()[:16]
+
+    def seed(self, root_seed: int) -> int:
+        """The cell's RNG seed, a pure function of (root seed, cell id)."""
+        digest = int.from_bytes(
+            hashlib.sha256(self.cell_id.encode()).digest()[:8], "big"
+        )
+        sequence = np.random.SeedSequence([int(root_seed), digest])
+        return int(sequence.generate_state(1, np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A declarative scenario matrix (see the module docstring).
+
+    ``None`` entries on the ``h`` / ``budgets`` / ``cpes`` / ``windows``
+    axes mean "dataset default" (no override / full window).
+    """
+
+    name: str
+    datasets: tuple
+    algorithms: tuple = ("TI-CSRM",)
+    h: tuple = (None,)
+    budgets: tuple = (None,)
+    cpes: tuple = (None,)
+    incentive_models: tuple = ("linear",)
+    alphas: tuple = (1.0,)
+    windows: tuple = (None,)
+    seed: int = 7
+    config: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.datasets:
+            raise SpecError("spec needs at least one dataset entry")
+        for entry in self.datasets:
+            dataset_label(entry)  # validates the entry shape
+        for algorithm in self.algorithms:
+            if algorithm not in ALGORITHMS:
+                raise SpecError(
+                    f"unknown algorithm {algorithm!r}; options: {list(ALGORITHMS)}"
+                )
+        for model in self.incentive_models:
+            if model not in INCENTIVE_MODELS:
+                raise SpecError(
+                    f"unknown incentive model {model!r}; "
+                    f"options: {sorted(INCENTIVE_MODELS)}"
+                )
+        unknown = set(self.config) - {f.name for f in _config_fields()}
+        if unknown:
+            raise SpecError(f"unknown config keys: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridSpec":
+        """Build a spec from a plain dict (e.g. parsed JSON)."""
+        known = {f.name for f in _spec_fields()}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(
+                f"unknown spec keys: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "name" not in data:
+            raise SpecError("spec needs a 'name'")
+        kwargs = dict(data)
+        for key in ("datasets", "algorithms", "h", "budgets", "cpes",
+                    "incentive_models", "alphas", "windows"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, path: str) -> "GridSpec":
+        """Load a spec from a JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise SpecError(f"cannot read spec {path!r}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON in spec {path!r}: {exc}") from None
+        if not isinstance(data, dict):
+            raise SpecError(f"spec {path!r} must hold a JSON object")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        """The spec as a JSON-able dict (inverse of :meth:`from_dict`)."""
+        data = asdict(self)
+        for key, value in data.items():
+            if isinstance(value, tuple):
+                data[key] = list(value)
+        data["datasets"] = [dict(entry) for entry in self.datasets]
+        return data
+
+    def spec_key(self) -> str:
+        """Digest pinning the full spec (axes + root seed)."""
+        return hashlib.sha256(_canonical(self.to_dict()).encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # The matrix
+    # ------------------------------------------------------------------
+    def cells(self) -> list[GridCell]:
+        """The cross product of all axes, in deterministic order."""
+        out: list[GridCell] = []
+        for entry in self.datasets:
+            for algorithm in self.algorithms:
+                for model in self.incentive_models:
+                    for alpha in self.alphas:
+                        for h in self.h:
+                            for budget in self.budgets:
+                                for cpe in self.cpes:
+                                    for window in self.windows:
+                                        out.append(
+                                            GridCell(
+                                                dataset=dict(entry),
+                                                algorithm=algorithm,
+                                                h=h,
+                                                budget=budget,
+                                                cpe=cpe,
+                                                incentive_model=model,
+                                                alpha=alpha,
+                                                window=window,
+                                            )
+                                        )
+        return out
+
+    def experiment_config(self, **overrides) -> ExperimentConfig:
+        """The estimator config for every cell (spec block + overrides)."""
+        merged = {**self.config, **overrides}
+        merged.setdefault("seed", self.seed)
+        return ExperimentConfig(**merged)
+
+
+def _spec_fields():
+    import dataclasses
+
+    return dataclasses.fields(GridSpec)
+
+
+def _config_fields():
+    import dataclasses
+
+    return dataclasses.fields(ExperimentConfig)
+
+
+# ----------------------------------------------------------------------
+# Dataset memo (edge-list builds are expensive; synthetic builds are
+# already cached by build_dataset)
+# ----------------------------------------------------------------------
+_DATASET_MEMO: dict[str, Dataset] = {}
+
+
+def _cell_dataset(entry: dict) -> Dataset:
+    key = _canonical(entry)
+    if key not in _DATASET_MEMO:
+        kwargs = dict(entry)
+        if "path" in kwargs:
+            _DATASET_MEMO[key] = build_edge_list_dataset(kwargs.pop("path"), **kwargs)
+        else:
+            _DATASET_MEMO[key] = build_dataset(kwargs.pop("name"), **kwargs)
+    return _DATASET_MEMO[key]
+
+
+def clear_grid_caches() -> None:
+    """Drop the grid runner's dataset memo (tests use this for isolation)."""
+    _DATASET_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# Running cells and manifests
+# ----------------------------------------------------------------------
+def run_cell(spec: GridSpec, cell: GridCell, config: ExperimentConfig) -> dict:
+    """Run one cell; returns its manifest row."""
+    dataset = _cell_dataset(cell.dataset)
+    instance = dataset.build_instance(
+        incentive_model=cell.incentive_model,
+        alpha=cell.alpha,
+        h=cell.h,
+        budget_override=cell.budget,
+        cpe_override=cell.cpe,
+    )
+    seed = cell.seed(spec.seed)
+    result = run_algorithm(
+        cell.algorithm, dataset, instance, config, window=cell.window, seed=seed
+    )
+    row = {"kind": "cell", "cell_id": cell.cell_id, "cell_seed": seed}
+    row.update(cell.params())
+    row.update(
+        revenue=result.total_revenue,
+        seed_cost=result.total_seeding_cost,
+        seeds=result.total_seeds,
+        runtime_s=result.runtime_seconds,
+    )
+    return row
+
+
+def default_manifest_path(spec: GridSpec) -> str:
+    """Where :func:`run_grid` writes the manifest when not told otherwise."""
+    return os.path.join(results_dir(), f"grid_{spec.name}.jsonl")
+
+
+def _manifest_header(spec: GridSpec, config: ExperimentConfig) -> dict:
+    return {
+        "kind": "header",
+        "manifest_version": MANIFEST_VERSION,
+        "spec_name": spec.name,
+        "spec_key": spec.spec_key(),
+        "root_seed": spec.seed,
+        "config": asdict(config),
+        "total_cells": len(spec.cells()),
+    }
+
+
+def load_manifest(path: str) -> tuple[dict | None, list[dict]]:
+    """Read a JSONL manifest into ``(header, cell_rows)``.
+
+    Truncated trailing lines (a run killed mid-write) are dropped rather
+    than failing, so interrupted manifests stay resumable.
+    """
+    header: dict | None = None
+    rows: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record.get("kind") == "header" and header is None:
+                header = record
+            elif record.get("kind") == "cell":
+                rows.append(record)
+    return header, rows
+
+
+def run_grid(
+    spec: GridSpec,
+    manifest_path: str | None = None,
+    *,
+    resume: bool = True,
+    config_overrides: dict | None = None,
+    progress=None,
+) -> list[dict]:
+    """Run every cell of *spec*, resuming from *manifest_path* if present.
+
+    Returns one row per cell (completed rows loaded from the manifest,
+    fresh rows appended to it as they finish — the manifest is valid
+    after every cell, so an interrupted run resumes where it stopped).
+    *progress*, when given, is called with ``(done, total, row)`` after
+    each cell.
+    """
+    manifest_path = manifest_path or default_manifest_path(spec)
+    config = spec.experiment_config(**(config_overrides or {}))
+    header = _manifest_header(spec, config)
+    completed: dict[str, dict] = {}
+    resuming = (
+        resume
+        and os.path.exists(manifest_path)
+        and os.path.getsize(manifest_path) > 0
+    )
+    if resuming:
+        previous, rows = load_manifest(manifest_path)
+        if previous is None:
+            # A manifest without a readable header cannot be checked
+            # against the spec/config — resuming it could silently mix
+            # incomparable cells, the exact failure the header prevents.
+            raise SpecError(
+                f"manifest {manifest_path!r} has no readable header; "
+                "cannot verify it matches this spec — use a new manifest "
+                "or pass resume=False"
+            )
+        if previous.get("spec_key") != header["spec_key"]:
+            raise SpecError(
+                f"manifest {manifest_path!r} was written for spec key "
+                f"{previous.get('spec_key')!r} but the current spec hashes "
+                f"to {header['spec_key']!r} — the spec changed; use a new "
+                "manifest or pass resume=False"
+            )
+        if previous.get("config") != header["config"]:
+            raise SpecError(
+                f"manifest {manifest_path!r} was run with a different "
+                "estimator config; resuming would mix incomparable cells"
+            )
+        completed = {row["cell_id"]: row for row in rows}
+    else:
+        directory = os.path.dirname(manifest_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+    cells = spec.cells()
+    out: list[dict] = []
+    with open(manifest_path, "a", encoding="utf-8") as fh:
+        for done, cell in enumerate(cells, start=1):
+            row = completed.get(cell.cell_id)
+            if row is None:
+                row = run_cell(spec, cell, config)
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+                fh.flush()
+            out.append(row)
+            if progress is not None:
+                progress(done, len(cells), row)
+    return out
+
+
+def grid_table_rows(rows: list[dict]) -> list[dict]:
+    """Flatten manifest rows for :func:`repro.experiments.reporting.format_table`.
+
+    Keeps the scalar axis columns plus the result fields; drops manifest
+    bookkeeping (``kind``, digests, nested dataset specs).
+    """
+    columns = (
+        "dataset", "algorithm", "incentives", "alpha",
+        "h", "budget", "cpe", "window",
+    ) + CELL_RESULT_FIELDS
+    out = []
+    for row in rows:
+        out.append({
+            col: ("-" if row.get(col) is None else row.get(col)) for col in columns
+        })
+    return out

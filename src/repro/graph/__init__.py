@@ -10,7 +10,16 @@ from repro.graph.generators import (
     path,
     complete,
 )
-from repro.graph.io import load_edge_list, save_edge_list, load_npz, save_npz
+from repro.graph.io import (
+    IngestResult,
+    ingest_cached,
+    ingest_edge_list,
+    load_edge_list,
+    load_npz,
+    read_edge_array,
+    save_edge_list,
+    save_npz,
+)
 from repro.graph.pagerank import pagerank
 from repro.graph.stats import GraphStats, compute_stats
 
@@ -23,7 +32,11 @@ __all__ = [
     "star",
     "path",
     "complete",
+    "IngestResult",
+    "ingest_cached",
+    "ingest_edge_list",
     "load_edge_list",
+    "read_edge_array",
     "save_edge_list",
     "load_npz",
     "save_npz",

@@ -48,6 +48,8 @@ class DiGraph:
         "in_tails",
         "in_edge_ids",
         "_edge_tails",
+        "deduped",
+        "allows_self_loops",
     )
 
     def __init__(
@@ -74,6 +76,12 @@ class DiGraph:
                 )
         if not allow_self_loops and tails.size and np.any(tails == heads):
             raise GraphError("self loops are not allowed (pass allow_self_loops=True)")
+
+        # Constructor options are retained so persistence layers
+        # (graph/io.py) can round-trip a graph with identical semantics:
+        # a dedupe=False multigraph must not come back deduplicated.
+        self.deduped = bool(dedupe)
+        self.allows_self_loops = bool(allow_self_loops)
 
         if dedupe and tails.size:
             keys = tails * n + heads
@@ -184,7 +192,9 @@ class DiGraph:
     def reverse(self) -> "DiGraph":
         """Return the graph with every arc flipped."""
         tails, heads = self.edge_array()
-        return DiGraph(self.n, heads, tails, dedupe=False)
+        return DiGraph(
+            self.n, heads, tails, dedupe=False, allow_self_loops=self.allows_self_loops
+        )
 
     def to_bidirected(self) -> "DiGraph":
         """Direct every arc both ways (paper's treatment of DBLP)."""
@@ -194,6 +204,7 @@ class DiGraph:
             np.concatenate([tails, heads]),
             np.concatenate([heads, tails]),
             dedupe=True,
+            allow_self_loops=self.allows_self_loops,
         )
 
     def subgraph(self, nodes: Sequence[int]) -> "DiGraph":
@@ -203,7 +214,13 @@ class DiGraph:
         relabel[nodes] = np.arange(nodes.size)
         tails, heads = self.edge_array()
         keep = (relabel[tails] >= 0) & (relabel[heads] >= 0)
-        return DiGraph(int(nodes.size), relabel[tails[keep]], relabel[heads[keep]], dedupe=False)
+        return DiGraph(
+            int(nodes.size),
+            relabel[tails[keep]],
+            relabel[heads[keep]],
+            dedupe=False,
+            allow_self_loops=self.allows_self_loops,
+        )
 
     # ------------------------------------------------------------------
     # Dunder methods

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _dataset_kwargs, build_parser, main
 
 
 class TestParser:
@@ -89,3 +91,87 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "#nodes" in out
         assert "livejournal_syn" in out
+
+
+class TestSizing:
+    def test_livejournal_n_rounds_to_nearest_power_of_two(self):
+        # 1000 is nearer to 1024 (2^10) than 512 (2^9); the old
+        # bit_length()-1 mapping silently built 512 nodes.
+        args = build_parser().parse_args(
+            ["run", "--dataset", "livejournal_syn", "--n", "1000"]
+        )
+        assert _dataset_kwargs(args)["scale"] == 10
+
+    def test_livejournal_exact_power_kept(self):
+        args = build_parser().parse_args(
+            ["run", "--dataset", "livejournal_syn", "--n", "512"]
+        )
+        assert _dataset_kwargs(args)["scale"] == 9
+
+    def test_livejournal_scale_floor(self):
+        args = build_parser().parse_args(
+            ["run", "--dataset", "livejournal_syn", "--n", "10"]
+        )
+        assert _dataset_kwargs(args)["scale"] == 6
+
+    def test_run_header_echoes_effective_n(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "livejournal_syn",
+                "--n", "200",
+                "--h", "2",
+                "--eps", "1.0",
+                "--theta-cap", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=256" in out  # 200 -> 2^8
+        assert "requested --n 200" in out
+
+
+class TestGridCommand:
+    SPEC = {
+        "name": "cli_smoke",
+        "datasets": [
+            {"name": "epinions_syn", "n": 120, "h": 2, "singleton_rr_samples": 400}
+        ],
+        "algorithms": ["TI-CARM"],
+        "alphas": [0.5],
+        "config": {"eps": 1.0, "theta_cap": 100},
+    }
+
+    def test_grid_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid"])
+
+    def test_grid_runs_and_resumes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        manifest = str(tmp_path / "m.jsonl")
+        code = main(["grid", "--spec", str(spec_path), "--manifest", manifest])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cells=1" in out and "revenue" in out
+        before = open(manifest).read()
+        assert main(["grid", "--spec", str(spec_path), "--manifest", manifest]) == 0
+        assert open(manifest).read() == before  # resumed, nothing re-ran
+
+
+class TestIngestCommand:
+    def test_ingest_reports_stats(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n100 200\n200 300\n100 100\n100 200\n")
+        code = main(["ingest", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self-loops dropped" in out and "#nodes" in out
+
+    def test_ingest_with_cache(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        cache = tmp_path / "g.npz"
+        assert main(["ingest", str(path), "--cache", str(cache)]) == 0
+        assert cache.exists()

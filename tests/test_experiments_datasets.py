@@ -6,11 +6,15 @@ import pytest
 from repro.errors import InstanceError
 from repro.experiments.datasets import (
     DATASET_BUILDERS,
+    PROB_MODELS,
     Dataset,
     build_dataset,
     build_dblp_syn,
+    build_edge_list_dataset,
     build_livejournal_syn,
     clear_dataset_cache,
+    register_edge_list_dataset,
+    unregister_dataset,
 )
 
 
@@ -80,6 +84,108 @@ class TestScalabilityAnalogs:
         ds = build_livejournal_syn(scale=8, h=4, seed=2)
         assert ds.graph.n == 256
         assert ds.cpes == [1.0] * 4
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    from repro.graph.generators import erdos_renyi
+    from repro.graph.io import save_edge_list
+
+    graph = erdos_renyi(60, 0.08, seed=8)
+    path = tmp_path / "crawl.txt"
+    save_edge_list(graph, str(path))
+    return str(path)
+
+
+class TestEdgeListDataset:
+    def test_wc_dataset_structure(self, edge_list_file):
+        ds = build_edge_list_dataset(
+            edge_list_file, name="crawl", prob_model="wc", h=3, seed=5
+        )
+        assert isinstance(ds, Dataset)
+        assert ds.name == "crawl" and ds.h == 3
+        assert ds.graph.n == 60
+        assert np.array_equal(ds.ad_probs[0], ds.ad_probs[1])  # pure competition
+        assert ds.meta["prob_model"] == "wc"
+        assert ds.meta["remapped"] is True
+
+    def test_tic_dataset_has_per_ad_probs(self, edge_list_file):
+        ds = build_edge_list_dataset(
+            edge_list_file, prob_model="tic", h=4, n_topics=4, seed=5
+        )
+        assert len(ds.ad_probs) == 4
+        assert len(ds.gammas) == 4
+
+    def test_trivalency_dataset(self, edge_list_file):
+        ds = build_edge_list_dataset(
+            edge_list_file, prob_model="trivalency", h=2, seed=5
+        )
+        levels = {0.1, 0.01, 0.001}
+        assert set(np.unique(ds.ad_probs[0])) <= levels
+
+    def test_rr_spread_mode(self, edge_list_file):
+        ds = build_edge_list_dataset(
+            edge_list_file,
+            prob_model="wc",
+            h=2,
+            seed=5,
+            spread_mode="rr",
+            singleton_rr_samples=500,
+        )
+        assert ds.spread_source == "rr(500)"
+        assert (ds.singleton_spreads[0] >= 1.0).all()
+
+    def test_name_defaults_to_file_stem(self, edge_list_file):
+        ds = build_edge_list_dataset(edge_list_file, h=2, seed=5)
+        assert ds.name == "crawl"
+
+    def test_unknown_prob_model_rejected(self, edge_list_file):
+        assert "wc" in PROB_MODELS
+        with pytest.raises(InstanceError, match="prob_model"):
+            build_edge_list_dataset(edge_list_file, prob_model="magic")
+
+    def test_unknown_spread_mode_rejected(self, edge_list_file):
+        with pytest.raises(InstanceError, match="spread_mode"):
+            build_edge_list_dataset(edge_list_file, spread_mode="magic")
+
+    def test_deterministic_per_seed(self, edge_list_file):
+        a = build_edge_list_dataset(edge_list_file, h=3, seed=5)
+        b = build_edge_list_dataset(edge_list_file, h=3, seed=5)
+        assert a.cpes == b.cpes and a.budgets == b.budgets
+
+    def test_instance_builds_and_runs(self, edge_list_file):
+        from repro.core.ticarm import ti_carm
+
+        ds = build_edge_list_dataset(edge_list_file, h=2, seed=5)
+        inst = ds.build_instance(incentive_model="linear", alpha=0.5)
+        result = ti_carm(
+            inst, eps=1.0, theta_cap=100, opt_lower=ds.opt_lower_bounds(), seed=1
+        )
+        assert result.total_revenue >= 0
+
+
+class TestRegistration:
+    def test_register_and_build(self, edge_list_file):
+        register_edge_list_dataset("crawl_test", edge_list_file, h=2, seed=5)
+        try:
+            ds = build_dataset("crawl_test")
+            assert ds.name == "crawl_test"
+            # call-site kwargs override registration defaults
+            ds3 = build_dataset("crawl_test", h=3)
+            assert ds3.h == 3
+        finally:
+            unregister_dataset("crawl_test")
+        assert "crawl_test" not in DATASET_BUILDERS
+
+    def test_builtin_names_protected(self, edge_list_file):
+        with pytest.raises(InstanceError):
+            register_edge_list_dataset("epinions_syn", edge_list_file)
+        with pytest.raises(InstanceError):
+            unregister_dataset("epinions_syn")
+
+    def test_cpe_override(self, quick_dataset):
+        inst = quick_dataset.build_instance("linear", 1.0, cpe_override=2.5)
+        assert all(inst.cpe(i) == 2.5 for i in range(inst.h))
 
 
 class TestBuildInstance:

@@ -1,0 +1,278 @@
+"""Tests for the declarative scenario-grid runner."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.experiments.grid import (
+    GridCell,
+    GridSpec,
+    clear_grid_caches,
+    grid_table_rows,
+    load_manifest,
+    run_grid,
+)
+
+SMOKE = {
+    "name": "smoke",
+    "datasets": [
+        {"name": "epinions_syn", "n": 120, "h": 2, "singleton_rr_samples": 400}
+    ],
+    "algorithms": ["TI-CSRM", "TI-CARM"],
+    "alphas": [0.5, 1.0],
+    "seed": 11,
+    "config": {"eps": 1.0, "theta_cap": 120},
+}
+
+
+def _strip(row: dict) -> dict:
+    return {k: v for k, v in row.items() if k != "runtime_s"}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_grid_caches()
+    yield
+    clear_grid_caches()
+
+
+class TestGridSpec:
+    def test_from_dict_round_trips(self):
+        spec = GridSpec.from_dict(SMOKE)
+        assert GridSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SMOKE))
+        assert GridSpec.from_json(str(path)).name == "smoke"
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec keys"):
+            GridSpec.from_dict({**SMOKE, "frobnicate": 1})
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SpecError, match="unknown algorithm"):
+            GridSpec.from_dict({**SMOKE, "algorithms": ["MAGIC"]})
+
+    def test_unknown_incentive_model_rejected(self):
+        with pytest.raises(SpecError, match="incentive"):
+            GridSpec.from_dict({**SMOKE, "incentive_models": ["quadratic"]})
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(SpecError, match="config"):
+            GridSpec.from_dict({**SMOKE, "config": {"nope": 1}})
+
+    def test_dataset_entry_needs_name_or_path(self):
+        with pytest.raises(SpecError):
+            GridSpec.from_dict({**SMOKE, "datasets": [{"n": 10}]})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError, match="invalid JSON"):
+            GridSpec.from_json(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            GridSpec.from_json(str(tmp_path / "nope.json"))
+
+    def test_cell_cross_product(self):
+        spec = GridSpec.from_dict(SMOKE)
+        cells = spec.cells()
+        assert len(cells) == 4  # 1 dataset x 2 algorithms x 2 alphas
+        assert len({cell.cell_id for cell in cells}) == 4
+
+    def test_cell_seed_depends_on_root_and_cell(self):
+        spec = GridSpec.from_dict(SMOKE)
+        cells = spec.cells()
+        seeds = [cell.seed(spec.seed) for cell in cells]
+        assert len(set(seeds)) == len(seeds)
+        assert [cell.seed(spec.seed) for cell in cells] == seeds  # stable
+        assert cells[0].seed(spec.seed + 1) != seeds[0]
+
+    def test_cell_id_order_independent(self):
+        # A cell's identity (and thus its seed) does not change when the
+        # spec's axes are reordered — only its parameters matter.
+        spec_a = GridSpec.from_dict(SMOKE)
+        spec_b = GridSpec.from_dict({**SMOKE, "alphas": [1.0, 0.5]})
+        ids_a = {cell.cell_id for cell in spec_a.cells()}
+        ids_b = {cell.cell_id for cell in spec_b.cells()}
+        assert ids_a == ids_b
+
+    def test_committed_specs_parse(self):
+        from pathlib import Path
+
+        specs_dir = Path(__file__).resolve().parent.parent / "specs"
+        for name in ("smoke.json", "fig5.json"):
+            spec = GridSpec.from_json(str(specs_dir / name))
+            assert spec.cells()
+
+
+class TestRunGrid:
+    def test_deterministic_across_runs(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        rows1 = run_grid(spec, str(tmp_path / "m1.jsonl"))
+        rows2 = run_grid(spec, str(tmp_path / "m2.jsonl"))
+        assert [_strip(r) for r in rows1] == [_strip(r) for r in rows2]
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        rows = run_grid(spec, manifest)
+        before = open(manifest).read()
+        resumed = run_grid(spec, manifest)
+        assert open(manifest).read() == before  # nothing re-ran
+        assert [_strip(r) for r in resumed] == [_strip(r) for r in rows]
+
+    def test_partial_manifest_resumes_to_same_results(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        rows = run_grid(spec, manifest)
+        lines = open(manifest).read().strip().split("\n")
+        partial = str(tmp_path / "partial.jsonl")
+        with open(partial, "w") as fh:
+            fh.write("\n".join(lines[:2]) + "\n")
+        resumed = run_grid(spec, partial)
+        assert [_strip(r) for r in resumed] == [_strip(r) for r in rows]
+        header, cells = load_manifest(partial)
+        assert header["spec_key"] == spec.spec_key()
+        assert len(cells) == len(spec.cells())
+
+    def test_truncated_trailing_line_is_dropped(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        rows = run_grid(spec, manifest)
+        content = open(manifest).read().strip().split("\n")
+        with open(manifest, "w") as fh:
+            fh.write("\n".join(content[:-1]) + "\n")
+            fh.write(content[-1][: len(content[-1]) // 2])  # killed mid-write
+        resumed = run_grid(spec, manifest)
+        assert [_strip(r) for r in resumed] == [_strip(r) for r in rows]
+
+    def test_edited_spec_rejected_on_resume(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        run_grid(spec, manifest)
+        edited = GridSpec.from_dict({**SMOKE, "alphas": [0.5]})
+        with pytest.raises(SpecError, match="spec changed"):
+            run_grid(edited, manifest)
+
+    def test_headerless_manifest_rejected_on_resume(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        run_grid(spec, manifest)
+        lines = open(manifest).read().strip().split("\n")
+        with open(manifest, "w") as fh:
+            fh.write("\n".join(lines[1:]) + "\n")  # header line lost
+        with pytest.raises(SpecError, match="no readable header"):
+            run_grid(spec, manifest)
+
+    def test_empty_existing_manifest_starts_fresh(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text("")
+        rows = run_grid(spec, str(manifest))
+        header, cells = load_manifest(str(manifest))
+        assert header is not None and len(cells) == len(rows)
+
+    def test_different_config_rejected_on_resume(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        run_grid(spec, manifest)
+        with pytest.raises(SpecError, match="config"):
+            run_grid(spec, manifest, config_overrides={"eps": 0.9})
+
+    def test_fresh_overwrites(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        run_grid(spec, manifest)
+        rows = run_grid(spec, manifest, resume=False)
+        header, cells = load_manifest(manifest)
+        assert len(cells) == len(rows) == len(spec.cells())
+
+    def test_progress_callback(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        seen = []
+        run_grid(
+            spec,
+            str(tmp_path / "m.jsonl"),
+            progress=lambda done, total, row: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_overrides_axes_reach_the_instance(self, tmp_path):
+        spec = GridSpec.from_dict(
+            {
+                **SMOKE,
+                "algorithms": ["TI-CSRM"],
+                "alphas": [0.5],
+                "h": [3],
+                "budgets": [40.0],
+                "cpes": [2.0],
+                "windows": [50],
+            }
+        )
+        (row,) = run_grid(spec, str(tmp_path / "m.jsonl"))
+        assert row["h"] == 3 and row["budget"] == 40.0 and row["cpe"] == 2.0
+        assert row["window"] == 50
+        assert row["revenue"] > 0
+
+    def test_grid_table_rows_flatten(self, tmp_path):
+        spec = GridSpec.from_dict(SMOKE)
+        rows = run_grid(spec, str(tmp_path / "m.jsonl"))
+        table = grid_table_rows(rows)
+        assert len(table) == 4
+        assert table[0]["dataset"] == "epinions_syn"
+        assert "dataset_spec" not in table[0] and "cell_id" not in table[0]
+        assert table[0]["h"] == "-"  # unset axes render as dashes
+
+
+class TestEdgeListCells:
+    def test_edge_list_dataset_entry(self, tmp_path):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import save_edge_list
+
+        graph = erdos_renyi(50, 0.08, seed=6)
+        path = tmp_path / "el.txt"
+        save_edge_list(graph, str(path))
+        spec = GridSpec.from_dict(
+            {
+                "name": "el",
+                "datasets": [
+                    {
+                        "path": str(path),
+                        "name": "el",
+                        "prob_model": "wc",
+                        "h": 2,
+                        "seed": 5,
+                    }
+                ],
+                "algorithms": ["TI-CARM"],
+                "alphas": [0.5],
+                "config": {"eps": 1.0, "theta_cap": 100},
+            }
+        )
+        rows1 = run_grid(spec, str(tmp_path / "m1.jsonl"))
+        clear_grid_caches()
+        rows2 = run_grid(spec, str(tmp_path / "m2.jsonl"))
+        assert [_strip(r) for r in rows1] == [_strip(r) for r in rows2]
+        assert rows1[0]["dataset"] == "el"
+
+
+class TestGridCell:
+    def test_params_include_all_axes(self):
+        cell = GridCell(
+            dataset={"name": "epinions_syn"},
+            algorithm="TI-CSRM",
+            h=5,
+            budget=10.0,
+            cpe=1.5,
+            incentive_model="linear",
+            alpha=0.5,
+            window=100,
+        )
+        params = cell.params()
+        assert params["dataset"] == "epinions_syn"
+        assert params["h"] == 5 and params["window"] == 100
+        assert len(cell.cell_id) == 16

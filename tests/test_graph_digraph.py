@@ -130,6 +130,12 @@ class TestDerivedGraphs:
         b = path_graph.to_bidirected()
         assert b.to_bidirected().m == b.m
 
+    def test_derived_graphs_propagate_self_loop_flag(self):
+        g = DiGraph(3, [0, 1], [0, 2], allow_self_loops=True)
+        assert g.to_bidirected().allows_self_loops
+        assert g.reverse().has_edge(0, 0)
+        assert g.subgraph([0, 1]).allows_self_loops
+
     def test_subgraph_relabels(self):
         g = DiGraph.from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)], n=4)
         sub = g.subgraph([1, 2, 3])
