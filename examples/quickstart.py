@@ -47,13 +47,15 @@ def main() -> None:
     instance = repro.RMInstance(graph, advertisers, ad_probs, incentives)
 
     # --- 5. Run the host's allocation algorithm -----------------------
-    result = repro.ti_csrm(
-        instance,
+    # One spec holds every engine knob; repro.solve runs any registered
+    # algorithm under it (use an AllocationSession for repeated solves).
+    spec = repro.EngineSpec(
         eps=0.4,
         theta_cap=3000,
         opt_lower=[float(s.max()) for s in singleton_spreads],
         seed=rng_seed,
     )
+    result = repro.solve(instance, "TI-CSRM", spec)
 
     # --- 6. Report -----------------------------------------------------
     print(f"\n{result.summary()}\n")

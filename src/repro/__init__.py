@@ -9,15 +9,28 @@ substrate they stand on (CSR graphs, the TIC propagation model, RR-set
 sampling with TIM sample sizes, incentive models, synthetic analog
 datasets, and the experiment harness for all tables and figures).
 
-Quickstart::
+Quickstart — one spec, one call::
 
     import repro
 
     dataset = repro.build_dataset("flixster_syn", n=1000)
     instance = dataset.build_instance(incentive_model="linear", alpha=0.2)
-    result = repro.ti_csrm(instance, eps=0.5, theta_cap=2000,
-                           opt_lower=dataset.opt_lower_bounds(), seed=1)
+    spec = repro.EngineSpec(eps=0.5, theta_cap=2000,
+                            opt_lower=dataset.opt_lower_bounds(), seed=1)
+    result = repro.solve(instance, "TI-CSRM", spec)
     print(result.summary())
+
+Repeated solves over the same graph (varying budgets, CPEs or
+incentives) should go through a session, which keeps RR samples and
+the worker pool warm::
+
+    with repro.AllocationSession(dataset.graph, spec=spec) as session:
+        for budget in (40.0, 60.0, 80.0):
+            inst = dataset.build_instance(budget_override=budget)
+            print(session.solve(inst, "TI-CSRM").summary())
+
+The legacy wrappers (``repro.ti_csrm(...)`` etc.) remain as thin,
+bit-identical shims over ``repro.solve``.
 """
 
 from repro.errors import (
@@ -88,6 +101,16 @@ from repro.core import (
     theorem3_bound,
     tightness_instance,
 )
+from repro.api import (
+    EngineSpec,
+    AlgorithmDef,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+    solve,
+    AllocationSession,
+)
 from repro.experiments import (
     ExperimentConfig,
     GridSpec,
@@ -97,7 +120,7 @@ from repro.experiments import (
     run_grid,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -157,6 +180,14 @@ __all__ = [
     "theorem2_bound",
     "theorem3_bound",
     "tightness_instance",
+    "EngineSpec",
+    "AlgorithmDef",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "unregister_algorithm",
+    "solve",
+    "AllocationSession",
     "ExperimentConfig",
     "GridSpec",
     "build_dataset",

@@ -1,0 +1,211 @@
+"""`AllocationSession`: warm repeated solves over one graph + prob family.
+
+The ROADMAP's production framing — and the follow-up literature (Han et
+al. 2021; Tang & Yuan 2021) — is about *re-solving* the same social
+graph under varying budgets, CPEs and incentive schedules.  A bare
+``repro.solve`` restarts everything per call: RR sampling from set 0,
+KPT estimation from scratch, pagerank rankings, and (for the parallel
+backend) a fresh shared-memory worker pool.  An
+:class:`AllocationSession` is bound to one graph and keeps all of that
+warm across solves:
+
+* **Prob-keyed RR stores.**  RR sets depend only on ``(graph, probs)``
+  — never on budgets, CPEs or incentives — so sets drawn for one solve
+  are a valid i.i.d. sample for every later solve over the same
+  probability vector.  The session stores them in
+  :class:`~repro.rrset.collection.SharedRRStore` objects keyed by
+  probability content; a warm solve *adopts* the stored prefix and
+  samples only if it needs more sets than any previous solve did
+  (continuing the store's persisted RNG stream).
+* **KPT estimators** (cached width samples and per-``s`` bounds) and
+  **pagerank orders** are cached per probability vector the same way.
+* **One `SharedGraphPool`.**  The first parallel solve creates the
+  worker pool; every later solve reuses it.  The engine never tears a
+  session's pool down — :meth:`close` (or the context manager) does.
+
+Reuse and invalidation rules (docs/ARCHITECTURE.md §9): a new
+probability vector simply creates a new store (the "family" grows);
+nothing a solve can change — budgets, CPEs, incentives, ``blocked``
+masks, algorithm, ``eps``/``theta_cap`` — ever invalidates a store.
+The sampler backend and worker count are pinned at session
+construction (stores hold live backends), so per-solve specs cannot
+flip them mid-session.  Sessions are not thread-safe (one solve at a
+time), matching the engine.
+
+Observability: :attr:`stats` counts solves, sampler batch calls and
+sets drawn, so tests (and benchmarks) can assert that a warm re-solve
+really skipped sampling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.api.spec import EngineSpec
+from repro.api.registry import AlgorithmDef
+from repro.core.allocation import AllocationResult
+from repro.core.instance import RMInstance
+from repro.core.ti_engine import EngineWarmState
+from repro.graph.digraph import DiGraph
+from repro.rrset.backend import SamplerBackend
+
+
+class _CountingBackend(SamplerBackend):
+    """Delegating proxy that counts batch draws for session stats."""
+
+    def __init__(self, inner: SamplerBackend, stats: dict) -> None:
+        self._inner = inner
+        self._stats = stats
+        self.graph = inner.graph
+        self.probs = inner.probs
+
+    def sample_batch_flat(self, count: int, rng=None):
+        self._stats["sample_batches"] += 1
+        self._stats["sets_sampled"] += int(count)
+        return self._inner.sample_batch_flat(count, rng)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class AllocationSession:
+    """Reusable solving context bound to one graph (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The :class:`DiGraph` every solve's instance must be built on
+        (identity is checked — sessions never silently mix graphs).
+    spec:
+        The session's base :class:`EngineSpec`.  Per-solve specs /
+        overrides are applied on top of it, except ``sampler_backend``
+        and ``workers``, which the session pins (live sampler backends
+        persist inside the stores).
+    """
+
+    def __init__(self, graph: DiGraph, *, spec: EngineSpec | None = None) -> None:
+        if not isinstance(graph, DiGraph):
+            raise AllocationError(
+                f"AllocationSession binds to a DiGraph, got {type(graph).__name__}"
+            )
+        self.graph = graph
+        self.spec = spec or EngineSpec()
+        self._warm = EngineWarmState()
+        self._closed = False
+        self._stats = {"solves": 0, "sample_batches": 0, "sets_sampled": 0}
+        self._warm.wrap_sampler = lambda sampler: _CountingBackend(
+            sampler, self._stats
+        )
+
+    @classmethod
+    def for_instance(
+        cls, instance: RMInstance, *, spec: EngineSpec | None = None
+    ) -> "AllocationSession":
+        """A session bound to *instance*'s graph."""
+        return cls(instance.graph, spec=spec)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: RMInstance,
+        algorithm: str | AlgorithmDef = "TI-CSRM",
+        spec: EngineSpec | None = None,
+        *,
+        blocked=None,
+        **overrides,
+    ) -> AllocationResult:
+        """Run one algorithm on *instance*, reusing this session's caches.
+
+        *instance* must be built on the session's graph; its budgets,
+        CPEs, incentives and probability vectors are free to differ
+        between calls.  *spec* defaults to the session's base spec;
+        keyword *overrides* apply on top (backend/workers stay pinned).
+        Identical queries re-solve bit-identically to their first run —
+        without re-sampling, which :attr:`stats` makes observable.
+        """
+        from repro.api.solve import solve as _solve
+
+        return _solve(
+            instance,
+            algorithm,
+            spec or self.spec,
+            blocked=blocked,
+            session=self,
+            **overrides,
+        )
+
+    # -- hooks used by repro.api.solve ---------------------------------
+    def _warm_state_for(self, instance: RMInstance) -> EngineWarmState:
+        if self._closed:
+            raise AllocationError("session is closed")
+        if instance.graph is not self.graph:
+            raise AllocationError(
+                "instance is built on a different graph than this session; "
+                "sessions are bound to one graph (open a new session)"
+            )
+        return self._warm
+
+    def _pin_spec(self, spec: EngineSpec) -> EngineSpec:
+        if (
+            spec.sampler_backend != self.spec.sampler_backend
+            or spec.workers != self.spec.workers
+        ):
+            spec = spec.override(
+                sampler_backend=self.spec.sampler_backend,
+                workers=self.spec.workers,
+            )
+        return spec
+
+    def _record_solve(self, result: AllocationResult) -> None:
+        self._stats["solves"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Counters + store sizes: what the session has drawn and kept.
+
+        ``sample_batches`` / ``sets_sampled`` count actual sampler
+        draws across all solves — a warm re-solve that fully reuses the
+        stores leaves them unchanged.
+        """
+        stores = list(self._warm.stores.values())
+        return {
+            **self._stats,
+            "stores": len(stores),
+            "stored_sets": sum(g.store.size for g in stores),
+            "stored_members": sum(g.store.member_total for g in stores),
+            "pagerank_orders": len(self._warm.pagerank_orders),
+            "pool_active": self._warm.pool is not None,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool and drop all cached stores (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for group in self._warm.stores.values():
+            group.sampler.close()
+        if self._warm.pool is not None:
+            self._warm.pool.close()
+            self._warm.pool = None
+        self._warm.stores.clear()
+        self._warm.pagerank_orders.clear()
+
+    def __enter__(self) -> "AllocationSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"AllocationSession(n={self.graph.n}, solves={s['solves']}, "
+            f"stores={s['stores']}, stored_sets={s['stored_sets']})"
+        )

@@ -78,6 +78,8 @@ def _config(args) -> ExperimentConfig:
         seed=args.seed,
         sampler_backend="parallel" if workers > 1 else "serial",
         workers=workers,
+        share_samples=getattr(args, "share_samples", False),
+        lazy_candidates=not getattr(args, "eager", False),
     )
 
 
@@ -170,6 +172,10 @@ def cmd_grid(args) -> int:
     if workers:
         overrides["workers"] = workers
         overrides["sampler_backend"] = "parallel" if workers > 1 else "serial"
+    if getattr(args, "share_samples", False):
+        overrides["share_samples"] = True
+    if getattr(args, "eager", False):
+        overrides["lazy_candidates"] = False
     total = len(spec.cells())
     print(f"# grid={spec.name} cells={total} seed={spec.seed} manifest={manifest}")
 
@@ -269,14 +275,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="RR sampler worker processes; > 1 selects the shared-memory "
         "parallel backend, 0/1 the bit-reproducible serial one",
     )
+    common.add_argument(
+        "--share-samples",
+        action="store_true",
+        dest="share_samples",
+        help="store probability-identical ads' RR sets once (shared stores)",
+    )
+    common.add_argument(
+        "--eager",
+        action="store_true",
+        help="disable CELF-style lazy candidate caching (full rescans)",
+    )
 
     p = sub.add_parser("datasets", parents=[common], help="list analog datasets")
     p.add_argument("--build", action="store_true", help="build and show stats")
     p.set_defaults(func=cmd_datasets)
 
+    from repro.api.registry import algorithm_names
+
     p = sub.add_parser("run", parents=[common], help="run one algorithm")
     p.add_argument("--dataset", choices=sorted(DATASET_BUILDERS), required=True)
-    p.add_argument("--algorithm", choices=ALGORITHMS, default="TI-CSRM")
+    # Choices come from the live registry, so algorithms registered
+    # before main() (e.g. via a sitecustomize or wrapper script) are
+    # directly runnable from the command line.
+    p.add_argument("--algorithm", choices=algorithm_names(), default="TI-CSRM")
     p.add_argument(
         "--incentives",
         choices=("linear", "constant", "sublinear", "superlinear"),
@@ -294,7 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("linear", "constant", "sublinear", "superlinear"),
     )
     p.add_argument(
-        "--algorithms", nargs="+", default=list(ALGORITHMS), choices=ALGORITHMS
+        "--algorithms",
+        nargs="+",
+        default=list(ALGORITHMS),
+        choices=algorithm_names(),
     )
     p.set_defaults(func=cmd_sweep)
 
@@ -324,6 +349,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="RR sampler worker processes for every cell (> 1 selects the "
         "shared-memory parallel backend)",
+    )
+    p.add_argument(
+        "--share-samples",
+        action="store_true",
+        dest="share_samples",
+        help="shared RR stores for probability-identical ads, every cell",
+    )
+    p.add_argument(
+        "--eager",
+        action="store_true",
+        help="disable lazy candidate caching in every cell",
     )
     p.set_defaults(func=cmd_grid)
 

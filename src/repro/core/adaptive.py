@@ -35,7 +35,6 @@ from repro._rng import as_generator
 from repro.errors import InstanceError
 from repro.core.ads import Advertiser
 from repro.core.instance import RMInstance
-from repro.core.ticsrm import ti_csrm
 from repro.diffusion.simulate import simulate_cascade
 
 
@@ -83,8 +82,9 @@ class AdaptiveCampaign:
     n_windows:
         Number of planning/realization rounds ``T``.
     planner_kwargs:
-        Passed to :func:`repro.core.ticsrm.ti_csrm` at each window
-        (``eps``, ``theta_cap``, ``opt_lower``, ...).
+        Engine knobs for each window's plan (``eps``, ``theta_cap``,
+        ``opt_lower``, ...) — compiled into an
+        :class:`~repro.api.spec.EngineSpec` unless *spec* is given.
     budget_split:
         ``"even"`` plans each window with ``1/T`` of the remaining pool
         scaled by the windows left (i.e. remaining / windows_left), which
@@ -92,6 +92,21 @@ class AdaptiveCampaign:
         window (greedy front-loading).
     seed:
         Master seed for planning randomness and cascade realization.
+    algorithm:
+        Any registered algorithm name (default TI-CSRM, the paper's
+        cost-sensitive planner).
+    spec:
+        An explicit :class:`~repro.api.spec.EngineSpec` for the planner
+        (overrides *planner_kwargs*); the per-window planner seed is
+        applied on top.
+    reuse_samples:
+        Open one :class:`~repro.api.session.AllocationSession` for the
+        whole campaign, so later windows adopt the RR sets earlier
+        windows drew instead of resampling (valid: the windows share
+        graph and probabilities; only budgets and the frozen mask
+        change).  Warm solves store samples in shared prob-keyed
+        stores, so plans differ from — but are statistically equivalent
+        to — the cold per-window planner.
     """
 
     def __init__(
@@ -101,6 +116,9 @@ class AdaptiveCampaign:
         planner_kwargs: dict | None = None,
         budget_split: str = "even",
         seed=None,
+        algorithm: str = "TI-CSRM",
+        spec=None,
+        reuse_samples: bool = False,
     ) -> None:
         if n_windows < 1:
             raise InstanceError(f"n_windows must be >= 1, got {n_windows}")
@@ -111,40 +129,67 @@ class AdaptiveCampaign:
         self.planner_kwargs = dict(planner_kwargs or {})
         self.budget_split = budget_split
         self.rng = as_generator(seed)
+        self.algorithm = algorithm
+        self.spec = spec
+        self.reuse_samples = bool(reuse_samples)
+
+    def _planner_spec(self):
+        from repro.api.spec import EngineSpec
+
+        if self.spec is not None:
+            return self.spec
+        return EngineSpec(**self.planner_kwargs)
 
     def run(self) -> CampaignResult:
         """Execute all windows; returns realized outcomes."""
+        from repro.api.session import AllocationSession
+        from repro.api.solve import solve
+
         inst = self.instance
         h, n = inst.h, inst.n
         remaining = [inst.budget(i) for i in range(h)]
         frozen = np.zeros(n, dtype=bool)  # engaged-or-seeded users
         result = CampaignResult()
+        spec = self._planner_spec()
+        session = (
+            AllocationSession(inst.graph, spec=spec) if self.reuse_samples else None
+        )
 
-        for window in range(self.n_windows):
-            windows_left = self.n_windows - window
-            planned_budgets = [
-                rem if self.budget_split == "all" else max(rem / windows_left, 1e-9)
-                for rem in remaining
-            ]
-            built = self._window_instance(planned_budgets, frozen)
-            if built is None:
-                break
-            sub, sub_to_original = built
-            planner_seed = int(self.rng.integers(0, 2**31 - 1))
-            plan = ti_csrm(
-                sub, seed=planner_seed, blocked=frozen.copy(), **self.planner_kwargs
-            )
+        try:
+            for window in range(self.n_windows):
+                windows_left = self.n_windows - window
+                planned_budgets = [
+                    rem if self.budget_split == "all" else max(rem / windows_left, 1e-9)
+                    for rem in remaining
+                ]
+                built = self._window_instance(planned_budgets, frozen)
+                if built is None:
+                    break
+                sub, sub_to_original = built
+                planner_seed = int(self.rng.integers(0, 2**31 - 1))
+                window_spec = spec.override(seed=planner_seed)
+                if session is not None:
+                    plan = session.solve(
+                        sub, self.algorithm, window_spec, blocked=frozen.copy()
+                    )
+                else:
+                    plan = solve(
+                        sub, self.algorithm, window_spec, blocked=frozen.copy()
+                    )
 
-            outcome = self._realize(
-                window,
-                plan.allocation.seed_sets(),
-                sub_to_original,
-                frozen,
-                remaining,
-            )
-            result.windows.append(outcome)
-            if all(rem <= 1e-9 for rem in remaining):
-                break
+                outcome = self._realize(
+                    window,
+                    plan.allocation.seed_sets(),
+                    sub_to_original,
+                    frozen,
+                    remaining,
+                )
+                result.windows.append(outcome)
+                if all(rem <= 1e-9 for rem in remaining):
+                    break
+        finally:
+            if session is not None:
+                session.close()
         return result
 
     # ------------------------------------------------------------------
@@ -242,6 +287,9 @@ def run_adaptive_campaign(
     planner_kwargs: dict | None = None,
     budget_split: str = "even",
     seed=None,
+    algorithm: str = "TI-CSRM",
+    spec=None,
+    reuse_samples: bool = False,
 ) -> CampaignResult:
     """Convenience wrapper around :class:`AdaptiveCampaign`."""
     campaign = AdaptiveCampaign(
@@ -250,5 +298,8 @@ def run_adaptive_campaign(
         planner_kwargs=planner_kwargs,
         budget_split=budget_split,
         seed=seed,
+        algorithm=algorithm,
+        spec=spec,
+        reuse_samples=reuse_samples,
     )
     return campaign.run()

@@ -14,14 +14,30 @@ Budget feasibility and the revenue estimation machinery (RR collections,
 θ schedules) are identical to TI-CARM/TI-CSRM, so differences in outcome
 isolate the effect of the candidate rule — the comparison the paper's
 quality experiments make.
+
+Both functions are thin shims over the unified API — they compile their
+keywords into an :class:`~repro.api.spec.EngineSpec` and call
+``repro.solve(instance, name, spec)``; results are bit-identical to
+constructing the engine directly.
 """
 
 from __future__ import annotations
 
 from repro.core.allocation import AllocationResult
 from repro.core.instance import RMInstance
-from repro.core.ti_engine import TIEngine
 from repro.rrset.tim import DEFAULT_THETA_CAP
+
+
+def _pagerank_baseline(
+    name: str,
+    instance: RMInstance,
+    seed,
+    blocked,
+    **spec_fields,
+) -> AllocationResult:
+    from repro.api.solve import legacy_solve
+
+    return legacy_solve(instance, name, seed, blocked=blocked, **spec_fields)
 
 
 def pagerank_gr(
@@ -32,26 +48,27 @@ def pagerank_gr(
     theta_cap: int | None = DEFAULT_THETA_CAP,
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
+    share_samples: bool = False,
     sampler_backend: str = "serial",
     workers: int | None = None,
+    blocked=None,
     seed=None,
 ) -> AllocationResult:
     """PageRank candidates, greedy (max marginal revenue) assignment."""
-    engine = TIEngine(
+    return _pagerank_baseline(
+        "PageRank-GR",
         instance,
-        candidate_rule="pagerank",
-        selector="revenue",
+        seed,
+        blocked,
         eps=eps,
         ell=ell,
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        share_samples=share_samples,
         sampler_backend=sampler_backend,
         workers=workers,
-        seed=seed,
-        algorithm_name="PageRank-GR",
     )
-    return engine.run()
 
 
 def pagerank_rr(
@@ -62,23 +79,24 @@ def pagerank_rr(
     theta_cap: int | None = DEFAULT_THETA_CAP,
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
+    share_samples: bool = False,
     sampler_backend: str = "serial",
     workers: int | None = None,
+    blocked=None,
     seed=None,
 ) -> AllocationResult:
     """PageRank candidates, round-robin assignment over advertisers."""
-    engine = TIEngine(
+    return _pagerank_baseline(
+        "PageRank-RR",
         instance,
-        candidate_rule="pagerank",
-        selector="round_robin",
+        seed,
+        blocked,
         eps=eps,
         ell=ell,
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        share_samples=share_samples,
         sampler_backend=sampler_backend,
         workers=workers,
-        seed=seed,
-        algorithm_name="PageRank-RR",
     )
-    return engine.run()

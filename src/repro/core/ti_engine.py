@@ -61,6 +61,16 @@ Performance notes (flat data plane + lazy candidates):
   versions of this engine; the KPT estimator batches its width samples
   the same way.  All estimator guarantees are distribution-level and
   unaffected.
+* ``candidate_rule`` and ``selector`` also accept *callables* (see
+  :mod:`repro.api.registry` for the signatures), which is how
+  registry-defined algorithm variants plug in without subclassing; an
+  optional :class:`EngineWarmState` (normally owned by an
+  :class:`~repro.api.session.AllocationSession`) carries prob-keyed RR
+  stores, pagerank orders and the worker pool *across* runs, so a warm
+  re-solve over the same graph and probabilities adopts already-drawn
+  RR sets instead of resampling (valid because the RR distribution
+  depends only on (graph, probs)); warm mode implies the shared-store
+  (``share_samples``) storage semantics.
 * The greedy loop caches each ad's candidate ``(node, marg_rev)``
   between rounds (CELF-style laziness).  When ad ``a`` wins node ``v``,
   only ``a`` (its residual counts and possibly ``θ_a`` changed) and ads
@@ -100,6 +110,77 @@ from repro.core.seedsize import next_seed_size
 CANDIDATE_RULES = ("ca", "cs", "pagerank")
 SELECTORS = ("revenue", "rate", "round_robin")
 _BUDGET_SLACK = 1e-9
+
+
+def validate_rules(candidate_rule, selector) -> None:
+    """Reject unknown rule strings / non-callable rules.
+
+    The one shared check behind both :class:`TIEngine` construction and
+    :func:`repro.api.registry.register_algorithm`, so the accepted rule
+    surface (and its error messages) cannot drift between the two.
+    """
+    if isinstance(candidate_rule, str):
+        if candidate_rule not in CANDIDATE_RULES:
+            raise AllocationError(
+                f"unknown candidate_rule {candidate_rule!r}; options: "
+                f"{CANDIDATE_RULES} or a callable (engine, ad) -> node | None"
+            )
+    elif not callable(candidate_rule):
+        raise AllocationError("candidate_rule must be a rule name or a callable")
+    if isinstance(selector, str):
+        if selector not in SELECTORS:
+            raise AllocationError(
+                f"unknown selector {selector!r}; options: {SELECTORS} "
+                "or a callable (engine, candidates) -> candidate | None"
+            )
+    elif not callable(selector):
+        raise AllocationError("selector must be a selector name or a callable")
+
+
+class _WarmGroup:
+    """Cross-run sampling state for one distinct probability vector.
+
+    ``kpt_params`` records the ``(ell, kpt_max_samples)`` the cached KPT
+    estimator was built with; a later solve changing either gets a fresh
+    estimator (same sampler and RNG stream) instead of silently reusing
+    bounds computed under the old accuracy parameters.
+    """
+
+    __slots__ = ("sampler", "store", "rng", "kpt", "kpt_params")
+
+    def __init__(self, sampler, store, rng, kpt, kpt_params=None) -> None:
+        self.sampler = sampler
+        self.store = store
+        self.rng = rng
+        self.kpt = kpt
+        self.kpt_params = kpt_params
+
+
+class EngineWarmState:
+    """Caches an :class:`~repro.api.session.AllocationSession` keeps warm
+    across engine runs over one (graph, ad-prob family).
+
+    * ``stores`` — prob-content key → :class:`_WarmGroup` (sampler
+      backend, :class:`SharedRRStore`, RNG stream, KPT estimator).  RR
+      sets depend only on (graph, probs), so stored sets stay valid when
+      budgets / CPEs / incentives change between solves; a warm run
+      adopts the stored prefix and samples only past the store's end,
+      continuing the group's persisted RNG stream.
+    * ``pagerank_orders`` — prob-content key → node ordering, so the
+      PageRank baselines rank once per probability vector, not per run.
+    * ``pool`` — one :class:`SharedGraphPool` serving every parallel
+      solve of the session; the engine never closes it (the session
+      owns its lifecycle).
+    * ``wrap_sampler`` — optional hook applied to each newly created
+      sampler backend (sessions install a counting proxy here so reuse
+      is observable).
+    """
+
+    def __init__(self) -> None:
+        self.stores: dict[bytes, _WarmGroup] = {}
+        self.pagerank_orders: dict[bytes, np.ndarray] = {}
+        self.pool: SharedGraphPool | None = None
+        self.wrap_sampler = None
 
 
 class _AdState:
@@ -167,13 +248,9 @@ class TIEngine:
         blocked=None,
         seed=None,
         algorithm_name: str | None = None,
+        warm: EngineWarmState | None = None,
     ) -> None:
-        if candidate_rule not in CANDIDATE_RULES:
-            raise AllocationError(
-                f"unknown candidate_rule {candidate_rule!r}; options: {CANDIDATE_RULES}"
-            )
-        if selector not in SELECTORS:
-            raise AllocationError(f"unknown selector {selector!r}; options: {SELECTORS}")
+        validate_rules(candidate_rule, selector)
         try:
             sampler_backend, workers = resolve_backend(sampler_backend, workers)
         except EstimationError as exc:
@@ -191,11 +268,18 @@ class TIEngine:
         self.theta_cap = theta_cap
         self.opt_lower_spec = opt_lower
         self.kpt_max_samples = int(kpt_max_samples)
-        self.share_samples = bool(share_samples)
+        # Warm mode (a session's EngineWarmState) always stores sets in
+        # prob-keyed shared stores — that is what makes them reusable by
+        # the next solve — so it implies share_samples semantics.
+        self._warm = warm
+        self.share_samples = bool(share_samples) or warm is not None
         # Laziness is exact except under the windowed CS rule (see module
-        # docstring); lazy_candidates=False forces a full rescan per round
+        # docstring) and is unproven for arbitrary callable rules, so both
+        # disable it; lazy_candidates=False forces a full rescan per round
         # and exists for verification/benchmark comparisons.
-        self.lazy_candidates = bool(lazy_candidates) and window is None
+        self.lazy_candidates = (
+            bool(lazy_candidates) and window is None and isinstance(candidate_rule, str)
+        )
         # Sampling backend seam (normalized by resolve_backend above):
         # "serial" reproduces the bare RRSampler streams bit for bit;
         # "parallel" (or workers > 1) fans batches over one
@@ -205,7 +289,9 @@ class TIEngine:
         self._pool: SharedGraphPool | None = None
         self.blocked = None if blocked is None else np.asarray(blocked, dtype=bool)
         self.rng = as_generator(seed)
-        self.algorithm_name = algorithm_name or f"TI[{candidate_rule}/{selector}]"
+        rule_name = getattr(candidate_rule, "__name__", candidate_rule)
+        selector_name = getattr(selector, "__name__", selector)
+        self.algorithm_name = algorithm_name or f"TI[{rule_name}/{selector_name}]"
         self._states: list[_AdState] = []
         self._assigned: np.ndarray | None = None
         self._rr_cursor = 0  # round-robin pointer
@@ -229,25 +315,40 @@ class TIEngine:
 
         Keyed on the raw probability bytes — hashing them would let a
         hash collision silently share a store between ads with different
-        probability vectors.  Only called when ``share_samples`` is on.
+        probability vectors.  Used by the shared-store path and the
+        warm-state caches (RR stores, pagerank orders).
         """
         return self.instance.ad_probs[ad].tobytes()
 
     def _make_sampler(self, ad: int) -> SamplerBackend:
-        """One backend per ad, all sharing this run's worker pool."""
+        """One backend per ad, all sharing this run's worker pool.
+
+        In warm mode the pool lives on the session's
+        :class:`EngineWarmState` (created on first parallel use, never
+        closed by the engine) and new backends pass through the state's
+        ``wrap_sampler`` hook.
+        """
         inst = self.instance
         if self.sampler_backend == "parallel" and self.workers > 1:
-            if self._pool is None:
-                self._pool = SharedGraphPool(inst.graph, self.workers)
-            return make_backend(
-                inst.graph, inst.ad_probs[ad], "parallel", pool=self._pool
+            if self._warm is not None:
+                if self._warm.pool is None:
+                    self._warm.pool = SharedGraphPool(inst.graph, self.workers)
+                pool = self._warm.pool
+            else:
+                if self._pool is None:
+                    self._pool = SharedGraphPool(inst.graph, self.workers)
+                pool = self._pool
+            sampler = make_backend(inst.graph, inst.ad_probs[ad], "parallel", pool=pool)
+        else:
+            sampler = make_backend(
+                inst.graph,
+                inst.ad_probs[ad],
+                self.sampler_backend,
+                workers=self.workers,
             )
-        return make_backend(
-            inst.graph,
-            inst.ad_probs[ad],
-            self.sampler_backend,
-            workers=self.workers,
-        )
+        if self._warm is not None and self._warm.wrap_sampler is not None:
+            sampler = self._warm.wrap_sampler(sampler)
+        return sampler
 
     def _init_states(self) -> None:
         inst = self.instance
@@ -264,14 +365,19 @@ class TIEngine:
         rngs = spawn(self.rng, h)
         self._states = []
         # Shared-sampling groups: probability-identical ads share one
-        # sampler, RNG stream, KPT estimator and RR store.
-        groups: dict = {}
+        # sampler, RNG stream, KPT estimator and RR store.  In warm mode
+        # the group dict is the session's persistent cache, so groups
+        # created by an earlier solve — including their already-sampled
+        # stores — are found and reused here.
+        groups = self._warm.stores if self._warm is not None else {}
         for ad in range(h):
             state = _AdState()
             state.rng = rngs[ad]
             if self.share_samples:
                 key = self._prob_group_key(ad)
-                if key not in groups:
+                kpt_params = (self.ell, self.kpt_max_samples)
+                group = groups.get(key)
+                if group is None:
                     sampler = self._make_sampler(ad)
                     kpt = (
                         KPTEstimator(
@@ -283,13 +389,34 @@ class TIEngine:
                         if self.opt_lower_spec == "kpt"
                         else None
                     )
-                    groups[key] = (sampler, SharedRRStore(n), state.rng, kpt)
-                sampler, store, group_rng, kpt = groups[key]
-                state.sampler = sampler
-                state.store = store
-                state.rng = group_rng
-                state.kpt = kpt
-                state.collection = SharedRRCollection(store)
+                    group = _WarmGroup(
+                        sampler,
+                        SharedRRStore(n),
+                        state.rng,
+                        kpt,
+                        kpt_params if kpt is not None else None,
+                    )
+                    groups[key] = group
+                elif self.opt_lower_spec == "kpt" and (
+                    group.kpt is None or group.kpt_params != kpt_params
+                ):
+                    # Either the session's earlier solves priced OPT_s
+                    # differently, or they ran KPT under different
+                    # accuracy parameters — the cached bounds would be
+                    # wrong for this solve, so rebuild (same sampler and
+                    # RNG stream; identical re-solves still hit the cache).
+                    group.kpt = KPTEstimator(
+                        group.sampler,
+                        ell=self.ell,
+                        rng=group.rng,
+                        max_samples=self.kpt_max_samples,
+                    )
+                    group.kpt_params = kpt_params
+                state.sampler = group.sampler
+                state.store = group.store
+                state.rng = group.rng
+                state.kpt = group.kpt
+                state.collection = SharedRRCollection(group.store)
             else:
                 state.sampler = self._make_sampler(ad)
                 if self.opt_lower_spec == "kpt":
@@ -318,7 +445,17 @@ class TIEngine:
                     *state.sampler.sample_batch_flat(state.theta, state.rng)
                 )
             if self.candidate_rule == "pagerank":
-                state.pr_order = pagerank_order(inst.graph, weights=inst.ad_probs[ad])
+                if self._warm is not None:
+                    key = self._prob_group_key(ad)
+                    order = self._warm.pagerank_orders.get(key)
+                    if order is None:
+                        order = pagerank_order(inst.graph, weights=inst.ad_probs[ad])
+                        self._warm.pagerank_orders[key] = order
+                    state.pr_order = order
+                else:
+                    state.pr_order = pagerank_order(
+                        inst.graph, weights=inst.ad_probs[ad]
+                    )
             self._states.append(state)
 
     # ------------------------------------------------------------------
@@ -326,6 +463,20 @@ class TIEngine:
     # ------------------------------------------------------------------
     def _candidate(self, ad: int) -> int | None:
         state = self._states[ad]
+        if callable(self.candidate_rule):
+            # Registry-plugged rule: (engine, ad) -> node | None.  The
+            # rule may retire the ad by setting its state's ``done``.
+            node = self.candidate_rule(self, ad)
+            return None if node is None else int(node)
+        if self.candidate_rule == "pagerank":
+            # Next unassigned node in the ad-specific ranking.
+            order = state.pr_order
+            assert order is not None
+            while state.pr_ptr < order.size and self._assigned[order[state.pr_ptr]]:
+                state.pr_ptr += 1
+            if state.pr_ptr >= order.size:
+                return None
+            return int(order[state.pr_ptr])
         allowed = ~self._assigned
         if self.candidate_rule == "ca":
             node = state.collection.best_node(allowed)
@@ -335,27 +486,19 @@ class TIEngine:
                 state.done = True
                 return None
             return node
-        if self.candidate_rule == "cs":
-            node = state.collection.best_node_by_ratio(
-                self.instance.incentives[ad], allowed, self.window
-            )
-            if node is not None and state.collection.residual_count(node) == 0:
-                # Max ratio can only be achieved at zero coverage if every
-                # allowed node has zero coverage — retire the ad.
-                best_cov = state.collection.best_node(allowed)
-                if best_cov is None or state.collection.residual_count(best_cov) == 0:
-                    state.done = True
-                    return None
-                node = best_cov
-            return node
-        # pagerank: next unassigned node in the ad-specific ranking.
-        order = state.pr_order
-        assert order is not None
-        while state.pr_ptr < order.size and self._assigned[order[state.pr_ptr]]:
-            state.pr_ptr += 1
-        if state.pr_ptr >= order.size:
-            return None
-        return int(order[state.pr_ptr])
+        # "cs": Algorithm 5's coverage-to-incentive ratio argmax.
+        node = state.collection.best_node_by_ratio(
+            self.instance.incentives[ad], allowed, self.window
+        )
+        if node is not None and state.collection.residual_count(node) == 0:
+            # Max ratio can only be achieved at zero coverage if every
+            # allowed node has zero coverage — retire the ad.
+            best_cov = state.collection.best_node(allowed)
+            if best_cov is None or state.collection.residual_count(best_cov) == 0:
+                state.done = True
+                return None
+            node = best_cov
+        return node
 
     # ------------------------------------------------------------------
     # Estimates
@@ -433,7 +576,10 @@ class TIEngine:
 
         When the parallel sampler backend is active the run owns one
         :class:`SharedGraphPool` (workers + shared-memory CSR blocks);
-        it is torn down before this method returns, success or not.
+        it is torn down before this method returns, success or not —
+        unless the engine runs against an :class:`EngineWarmState`, in
+        which case the pool belongs to the session and survives for the
+        next solve.
         """
         try:
             return self._run()
@@ -521,10 +667,12 @@ class TIEngine:
                 "memory_bytes": memory,
                 "eps": self.eps,
                 "window": self.window,
-                "candidate_rule": self.candidate_rule,
+                "candidate_rule": getattr(
+                    self.candidate_rule, "__name__", self.candidate_rule
+                ),
                 "share_samples": self.share_samples,
                 "lazy_candidates": self.lazy_candidates,
-                "selector": self.selector,
+                "selector": getattr(self.selector, "__name__", self.selector),
                 "sampler_backend": self.sampler_backend,
                 "workers": self.workers,
             },
@@ -538,6 +686,14 @@ class TIEngine:
     ) -> tuple[int, int, float, float] | None:
         if not candidates:
             return None
+        if callable(self.selector):
+            # Registry-plugged selector: (engine, candidates) -> winner.
+            winner = self.selector(self, candidates)
+            if winner is not None and winner not in candidates:
+                raise AllocationError(
+                    "custom selector must return one of the candidate tuples or None"
+                )
+            return winner
         if self.selector == "revenue":
             return max(candidates, key=lambda c: (c[2], -c[0]))
         if self.selector == "rate":

@@ -4,13 +4,17 @@ Candidate selection is Algorithm 4 (``SelectBestCANode``: the unassigned
 node of maximum residual RR coverage) and winner selection is the
 maximum marginal revenue subject to budget feasibility — the two
 replacements the paper specifies relative to Algorithm 2.
+
+This function is a thin shim over the unified API — it compiles its
+keywords into an :class:`~repro.api.spec.EngineSpec` and calls
+``repro.solve(instance, "TI-CARM", spec)``; results are bit-identical
+to constructing the engine directly.
 """
 
 from __future__ import annotations
 
 from repro.core.allocation import AllocationResult
 from repro.core.instance import RMInstance
-from repro.core.ti_engine import TIEngine
 from repro.rrset.tim import DEFAULT_THETA_CAP
 
 
@@ -23,8 +27,10 @@ def ti_carm(
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
     share_samples: bool = False,
+    lazy_candidates: bool = True,
     sampler_backend: str = "serial",
     workers: int | None = None,
+    blocked=None,
     seed=None,
 ) -> AllocationResult:
     """Run TI-CARM on *instance*.
@@ -33,19 +39,20 @@ def ti_carm(
     that class for estimator semantics.  Approximation: Theorem 2's bound
     deteriorated by the additive RR-estimation term of Theorem 4.
     """
-    engine = TIEngine(
+    from repro.api.solve import legacy_solve
+
+    return legacy_solve(
         instance,
-        candidate_rule="ca",
-        selector="revenue",
+        "TI-CARM",
+        seed,
         eps=eps,
         ell=ell,
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        share_samples=share_samples,
+        lazy_candidates=lazy_candidates,
         sampler_backend=sampler_backend,
         workers=workers,
-        share_samples=share_samples,
-        seed=seed,
-        algorithm_name="TI-CARM",
+        blocked=blocked,
     )
-    return engine.run()

@@ -10,13 +10,17 @@ running time vs. window size"): the per-ad candidate search is restricted
 to the ``w`` unassigned nodes of highest marginal revenue.  ``window=1``
 collapses to TI-CARM's choice; ``window=None`` (i.e. ``w = n``) is the
 full cost-sensitive rule and the most expensive.
+
+This function is a thin shim over the unified API — it compiles its
+keywords into an :class:`~repro.api.spec.EngineSpec` and calls
+``repro.solve(instance, "TI-CSRM", spec)``; results are bit-identical
+to constructing the engine directly.
 """
 
 from __future__ import annotations
 
 from repro.core.allocation import AllocationResult
 from repro.core.instance import RMInstance
-from repro.core.ti_engine import TIEngine
 from repro.rrset.tim import DEFAULT_THETA_CAP
 
 
@@ -30,6 +34,7 @@ def ti_csrm(
     opt_lower="kpt",
     kpt_max_samples: int = 5_000,
     share_samples: bool = False,
+    lazy_candidates: bool = True,
     sampler_backend: str = "serial",
     workers: int | None = None,
     blocked=None,
@@ -40,22 +45,21 @@ def ti_csrm(
     Approximation: Theorem 3's bound deteriorated by the additive
     RR-estimation term of Theorem 4.
     """
-    name = "TI-CSRM" if window is None else f"TI-CSRM({window})"
-    engine = TIEngine(
+    from repro.api.solve import legacy_solve
+
+    return legacy_solve(
         instance,
-        candidate_rule="cs",
-        selector="rate",
+        "TI-CSRM",
+        seed,
         eps=eps,
         ell=ell,
         window=window,
         theta_cap=theta_cap,
         opt_lower=opt_lower,
         kpt_max_samples=kpt_max_samples,
+        share_samples=share_samples,
+        lazy_candidates=lazy_candidates,
         sampler_backend=sampler_backend,
         workers=workers,
-        share_samples=share_samples,
         blocked=blocked,
-        seed=seed,
-        algorithm_name=name,
     )
-    return engine.run()

@@ -43,10 +43,41 @@ class ExperimentConfig:
     # any workers > 1 upgrades "serial" to "parallel".
     sampler_backend: str = "serial"
     workers: int = 0
+    # Engine storage / laziness knobs (docs/ARCHITECTURE.md §6):
+    # share_samples stores probability-identical ads' RR sets once;
+    # lazy_candidates=False forces eager per-round candidate rescans.
+    # Both compile into the EngineSpec, so grid specs can pin them.
+    share_samples: bool = False
+    lazy_candidates: bool = True
 
     def quick(self) -> "ExperimentConfig":
         """A cheaper copy for smoke tests."""
         return replace(self, theta_cap=1_000, singleton_rr_samples=2_000, grid_mode="quick")
+
+    def engine_spec(self, *, opt_lower, window=None, seed=None):
+        """Compile this config into an :class:`~repro.api.spec.EngineSpec`.
+
+        *opt_lower* must be resolved by the caller (the ``"singleton"``
+        mode needs dataset spreads the config cannot see); *window* and
+        *seed* are per-run values (``seed=None`` falls back to the
+        config's seed).  This is the one place experiment settings turn
+        into engine settings — harness, grid runner and CLI all call it.
+        """
+        from repro.api.spec import EngineSpec
+
+        return EngineSpec(
+            eps=self.eps,
+            ell=self.ell,
+            window=window,
+            theta_cap=self.theta_cap,
+            opt_lower=opt_lower,
+            kpt_max_samples=self.kpt_max_samples,
+            share_samples=self.share_samples,
+            lazy_candidates=self.lazy_candidates,
+            sampler_backend=self.sampler_backend,
+            workers=self.workers or None,
+            seed=self.seed if seed is None else int(seed),
+        )
 
     def alphas(self, model_name: str, dataset_name: str) -> tuple[float, ...]:
         """The α grid for one (incentive model, dataset) cell of Fig. 2/3.

@@ -41,18 +41,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import MISSING, asdict, dataclass, field
 
 import numpy as np
 
 from repro.errors import SpecError
+from repro.api.registry import algorithm_names
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import (
     Dataset,
     build_dataset,
     build_edge_list_dataset,
 )
-from repro.experiments.harness import ALGORITHMS, run_algorithm
+from repro.experiments.harness import run_algorithm
 from repro.experiments.reporting import results_dir
 from repro.incentives.models import INCENTIVE_MODELS
 
@@ -143,9 +144,12 @@ class GridSpec:
         for entry in self.datasets:
             dataset_label(entry)  # validates the entry shape
         for algorithm in self.algorithms:
-            if algorithm not in ALGORITHMS:
+            # Validated against the live registry, so user-registered
+            # algorithms are first-class grid citizens.
+            if algorithm not in algorithm_names():
                 raise SpecError(
-                    f"unknown algorithm {algorithm!r}; options: {list(ALGORITHMS)}"
+                    f"unknown algorithm {algorithm!r}; "
+                    f"options: {list(algorithm_names())}"
                 )
         for model in self.incentive_models:
             if model not in INCENTIVE_MODELS:
@@ -252,6 +256,32 @@ def _config_fields():
     return dataclasses.fields(ExperimentConfig)
 
 
+def _configs_compatible(previous: dict | None, current: dict) -> bool:
+    """Whether a manifest written under *previous* can resume under *current*.
+
+    Keys present in both must match exactly.  Keys only in *current*
+    (config fields added after the manifest was written) are compatible
+    iff the current value equals the field's declared default — the old
+    cells ran identical effective settings, so mixing is safe.  Keys
+    only in *previous* (fields since removed) stay incomparable.
+    """
+    if not isinstance(previous, dict):
+        return False
+    defaults = {
+        f.name: f.default for f in _config_fields() if f.default is not MISSING
+    }
+    for key in set(previous) | set(current):
+        if key in previous and key in current:
+            if previous[key] != current[key]:
+                return False
+        elif key in current:
+            if key not in defaults or current[key] != defaults[key]:
+                return False
+        else:
+            return False
+    return True
+
+
 # ----------------------------------------------------------------------
 # Dataset memo (edge-list builds are expensive; synthetic builds are
 # already cached by build_dataset)
@@ -299,6 +329,9 @@ def run_cell(spec: GridSpec, cell: GridCell, config: ExperimentConfig) -> dict:
         seed_cost=result.total_seeding_cost,
         seeds=result.total_seeds,
         runtime_s=result.runtime_seconds,
+        # Full provenance: the resolved EngineSpec the cell actually ran
+        # with (theta_cap, opt_lower, seed policy, backend, ...).
+        engine_spec=result.extras.get("engine_spec"),
     )
     return row
 
@@ -387,7 +420,7 @@ def run_grid(
                 f"to {header['spec_key']!r} — the spec changed; use a new "
                 "manifest or pass resume=False"
             )
-        if previous.get("config") != header["config"]:
+        if not _configs_compatible(previous.get("config"), header["config"]):
             raise SpecError(
                 f"manifest {manifest_path!r} was run with a different "
                 "estimator config; resuming would mix incomparable cells"

@@ -1,9 +1,13 @@
-"""Running the four Section-5 algorithms on experiment cells.
+"""Running registered algorithms on experiment cells.
 
-One entry point, :func:`run_algorithm`, maps an algorithm name to the
-right engine configuration for a given dataset/instance pair, threading
-through the config's estimator settings and the dataset's free
-``OPT_s`` lower bounds.
+One entry point, :func:`run_algorithm`, compiles an
+:class:`~repro.experiments.config.ExperimentConfig` (plus the dataset's
+free ``OPT_s`` lower bounds) into an
+:class:`~repro.api.spec.EngineSpec` and hands it to
+:func:`repro.solve`.  Any algorithm in the registry — the paper's four
+or a user-registered variant — is runnable by name; an optional
+:class:`~repro.api.session.AllocationSession` warms repeated cells
+over the same dataset.
 """
 
 from __future__ import annotations
@@ -11,15 +15,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InstanceError
+from repro.api.registry import BUILTIN_ALGORITHMS, get_algorithm
+from repro.api.solve import solve
 from repro.core.allocation import AllocationResult
-from repro.core.baselines import pagerank_gr, pagerank_rr
 from repro.core.instance import RMInstance
-from repro.core.ticarm import ti_carm
-from repro.core.ticsrm import ti_csrm
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import Dataset
 
-ALGORITHMS = ("TI-CSRM", "TI-CARM", "PageRank-GR", "PageRank-RR")
+#: The paper's four Section-5 algorithms (figure/table runners iterate
+#: these); the registry may hold more — run_algorithm accepts any entry.
+ALGORITHMS = BUILTIN_ALGORITHMS
 
 
 def _opt_lower(dataset: Dataset, instance: RMInstance, config: ExperimentConfig):
@@ -37,32 +42,30 @@ def run_algorithm(
     config: ExperimentConfig,
     window: int | None = None,
     seed: int | None = None,
+    session=None,
 ) -> AllocationResult:
-    """Run one named algorithm on *instance* with *config*'s estimators.
+    """Run one registered algorithm on *instance* with *config*'s estimators.
 
-    *window* applies only to TI-CSRM (``None`` = full window ``w = n``).
+    *window* reaches only algorithms with a windowed candidate rule
+    (TI-CSRM among the built-ins; :func:`repro.solve` clears it for the
+    rest).  *session* optionally threads an
+    :class:`~repro.api.session.AllocationSession` so repeated cells on
+    one dataset reuse RR samples.
     """
-    opt_lower = _opt_lower(dataset, instance, config)
-    seed = config.seed if seed is None else seed
-    common = dict(
-        eps=config.eps,
-        ell=config.ell,
-        theta_cap=config.theta_cap,
-        opt_lower=opt_lower,
-        kpt_max_samples=config.kpt_max_samples,
-        sampler_backend=config.sampler_backend,
-        workers=config.workers or None,
-        seed=seed,
+    try:
+        definition = get_algorithm(algorithm)
+    except Exception:
+        from repro.api.registry import algorithm_names
+
+        raise InstanceError(
+            f"unknown algorithm {algorithm!r}; options: {list(algorithm_names())}"
+        ) from None
+    spec = config.engine_spec(
+        opt_lower=_opt_lower(dataset, instance, config), window=window, seed=seed
     )
-    if algorithm == "TI-CSRM":
-        return ti_csrm(instance, window=window, **common)
-    if algorithm == "TI-CARM":
-        return ti_carm(instance, **common)
-    if algorithm == "PageRank-GR":
-        return pagerank_gr(instance, **common)
-    if algorithm == "PageRank-RR":
-        return pagerank_rr(instance, **common)
-    raise InstanceError(f"unknown algorithm {algorithm!r}; options: {ALGORITHMS}")
+    if session is not None:
+        return session.solve(instance, definition, spec)
+    return solve(instance, definition, spec)
 
 
 def run_algorithms(

@@ -1,0 +1,142 @@
+"""repro.solve: legacy bit-identity, blocked parity, provenance echo."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import EngineSpec, solve
+from repro.core.baselines import pagerank_gr, pagerank_rr
+from repro.core.ti_engine import TIEngine
+from repro.core.ticarm import ti_carm
+from repro.core.ticsrm import ti_csrm
+
+from tests.conftest import make_tiny_instance
+
+LEGACY_KWARGS = dict(eps=0.8, theta_cap=150, opt_lower=1.0, seed=17)
+SPEC = EngineSpec(eps=0.8, theta_cap=150, opt_lower=1.0, seed=17)
+
+WRAPPERS = {
+    "TI-CSRM": ti_csrm,
+    "TI-CARM": ti_carm,
+    "PageRank-GR": pagerank_gr,
+    "PageRank-RR": pagerank_rr,
+}
+ENGINE_RULES = {
+    "TI-CSRM": ("cs", "rate"),
+    "TI-CARM": ("ca", "revenue"),
+    "PageRank-GR": ("pagerank", "revenue"),
+    "PageRank-RR": ("pagerank", "round_robin"),
+}
+
+
+def _same_result(a, b):
+    assert a.allocation.seed_sets() == b.allocation.seed_sets()
+    assert a.revenue_per_ad == b.revenue_per_ad
+    assert a.seeding_cost_per_ad == b.seeding_cost_per_ad
+    assert a.algorithm == b.algorithm
+
+
+class TestLegacyBitIdentity:
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_solve_matches_direct_engine(self, name):
+        """solve(instance, name, spec) ≡ the pre-API direct engine call."""
+        inst = make_tiny_instance()
+        rule, selector = ENGINE_RULES[name]
+        direct = TIEngine(
+            inst,
+            candidate_rule=rule,
+            selector=selector,
+            algorithm_name=name,
+            **LEGACY_KWARGS,
+        ).run()
+        _same_result(solve(inst, name, SPEC), direct)
+
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_wrappers_are_shims_over_solve(self, name):
+        inst = make_tiny_instance()
+        _same_result(WRAPPERS[name](inst, **LEGACY_KWARGS), solve(inst, name, SPEC))
+
+    def test_windowed_ticsrm_identity(self):
+        inst = make_tiny_instance()
+        via_wrapper = ti_csrm(inst, window=2, **LEGACY_KWARGS)
+        via_solve = solve(inst, "TI-CSRM", SPEC, window=2)
+        _same_result(via_wrapper, via_solve)
+        assert via_solve.algorithm == "TI-CSRM(2)"
+
+    def test_generator_seed_still_accepted(self):
+        inst = make_tiny_instance()
+        a = ti_csrm(inst, eps=0.8, theta_cap=150, opt_lower=1.0,
+                    seed=np.random.default_rng(3))
+        b = ti_csrm(inst, eps=0.8, theta_cap=150, opt_lower=1.0,
+                    seed=np.random.default_rng(3))
+        _same_result(a, b)
+        # A live generator is not JSON-able; the echoed spec records null.
+        assert a.extras["engine_spec"]["seed"] is None
+
+
+class TestBlockedParity:
+    """Satellite bugfix: `blocked` must exist on every algorithm."""
+
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_blocked_kwarg_respected_everywhere(self, name):
+        inst = make_tiny_instance()
+        blocked = np.zeros(inst.n, dtype=bool)
+        blocked[[0, 3]] = True
+        result = WRAPPERS[name](inst, blocked=blocked, **LEGACY_KWARGS)
+        seeded = {node for seeds in result.allocation.seed_sets() for node in seeds}
+        assert not seeded & {0, 3}
+
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_blocked_through_solve(self, name):
+        inst = make_tiny_instance()
+        blocked = np.zeros(inst.n, dtype=bool)
+        blocked[1] = True
+        result = solve(inst, name, SPEC, blocked=blocked)
+        seeded = {node for seeds in result.allocation.seed_sets() for node in seeds}
+        assert 1 not in seeded
+
+
+class TestProvenanceEcho:
+    """Satellite: the fully resolved EngineSpec rides in extras."""
+
+    def test_extras_carry_complete_spec(self):
+        inst = make_tiny_instance()
+        result = solve(inst, "TI-CSRM", SPEC, window=2)
+        echoed = result.extras["engine_spec"]
+        # Round-trips back into the exact spec the engine ran with.
+        assert EngineSpec.from_dict(echoed) == SPEC.override(window=2)
+        for key in ("theta_cap", "opt_lower", "seed", "eps", "ell",
+                    "share_samples", "lazy_candidates", "sampler_backend",
+                    "workers", "kpt_max_samples", "window"):
+            assert key in echoed
+
+    def test_window_cleared_for_unwindowed_algorithms(self):
+        inst = make_tiny_instance()
+        result = solve(inst, "TI-CARM", SPEC, window=3)
+        assert result.extras["engine_spec"]["window"] is None
+        # ... which preserves TI-CARM's lazy caching.
+        assert result.extras["lazy_candidates"] is True
+
+    def test_grid_manifest_rows_carry_spec(self, tmp_path):
+        from repro.experiments.datasets import build_dataset
+        from repro.experiments.grid import GridSpec, run_grid
+
+        spec = GridSpec(
+            name="prov",
+            datasets=({"name": "epinions_syn", "n": 120, "h": 2,
+                       "singleton_rr_samples": 300},),
+            algorithms=("TI-CSRM",),
+            alphas=(1.0,),
+            config={"eps": 1.0, "theta_cap": 120},
+        )
+        rows = run_grid(spec, str(tmp_path / "m.jsonl"))
+        assert len(rows) == 1
+        echoed = rows[0]["engine_spec"]
+        assert echoed["theta_cap"] == 120
+        assert echoed["seed"] == rows[0]["cell_seed"]
+        EngineSpec.from_dict(echoed)  # validates
+
+    def test_solve_in_package_namespace(self):
+        assert repro.solve is solve
+        for name in ("EngineSpec", "AllocationSession", "register_algorithm"):
+            assert name in repro.__all__

@@ -228,6 +228,64 @@ class TestRunGrid:
         assert table[0]["h"] == "-"  # unset axes render as dashes
 
 
+class TestEngineKnobsThroughGrid:
+    """Satellite: share_samples / lazy_candidates are grid-pinnable."""
+
+    def test_two_cell_grid_pins_share_and_lazy(self, tmp_path):
+        spec = GridSpec.from_dict(
+            {
+                **SMOKE,
+                "algorithms": ["TI-CSRM", "TI-CARM"],
+                "alphas": [0.5],
+                "config": {
+                    "eps": 1.0,
+                    "theta_cap": 120,
+                    "share_samples": True,
+                    "lazy_candidates": False,
+                },
+            }
+        )
+        rows = run_grid(spec, str(tmp_path / "m.jsonl"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["engine_spec"]["share_samples"] is True
+            assert row["engine_spec"]["lazy_candidates"] is False
+            assert row["revenue"] >= 0
+
+    def test_resume_across_config_field_additions(self, tmp_path):
+        """Manifests written before a config field existed stay resumable
+        when the current value equals the field's default."""
+        spec = GridSpec.from_dict(SMOKE)
+        manifest = str(tmp_path / "m.jsonl")
+        first = run_grid(spec, manifest)
+        # Simulate an old manifest: drop the new keys from the header.
+        lines = open(manifest).read().splitlines()
+        header = json.loads(lines[0])
+        for key in ("share_samples", "lazy_candidates"):
+            del header["config"][key]
+        lines[0] = json.dumps(header, sort_keys=True)
+        open(manifest, "w").write("\n".join(lines) + "\n")
+        resumed = run_grid(spec, manifest)  # all cells load, none re-run
+        assert [_strip(r) for r in resumed] == [_strip(r) for r in first]
+        # A non-default current value is still a real mismatch.
+        with pytest.raises(SpecError):
+            run_grid(spec, manifest,
+                     config_overrides={"lazy_candidates": False})
+
+    def test_lazy_and_eager_cells_agree(self, tmp_path):
+        """Lazy candidate caching is exact (bit-identical allocations),
+        now checkable end-to-end through the grid layer."""
+        base = {**SMOKE, "algorithms": ["TI-CSRM"], "alphas": [1.0]}
+        lazy_spec = GridSpec.from_dict(base)
+        eager_spec = GridSpec.from_dict(
+            {**base, "config": {**base["config"], "lazy_candidates": False}}
+        )
+        (lazy_row,) = run_grid(lazy_spec, str(tmp_path / "lazy.jsonl"))
+        (eager_row,) = run_grid(eager_spec, str(tmp_path / "eager.jsonl"))
+        assert lazy_row["revenue"] == eager_row["revenue"]
+        assert lazy_row["seeds"] == eager_row["seeds"]
+
+
 class TestEdgeListCells:
     def test_edge_list_dataset_entry(self, tmp_path):
         from repro.graph.generators import erdos_renyi
