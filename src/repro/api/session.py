@@ -169,11 +169,17 @@ class AllocationSession:
 
         ``sample_batches`` / ``sets_sampled`` count actual sampler
         draws across all solves — a warm re-solve that fully reuses the
-        stores leaves them unchanged.
+        stores leaves them unchanged.  ``store_hits`` / ``store_misses``
+        count, per solve and per *distinct* probability vector, whether
+        the solve found an existing RR store or had to create one (see
+        :class:`~repro.core.ti_engine.EngineWarmState`); the grid
+        runner's warm mode snapshots these around each cell to record
+        reuse provenance in its manifest rows.
         """
         stores = list(self._warm.stores.values())
         return {
             **self._stats,
+            **self._warm.counters,
             "stores": len(stores),
             "stored_sets": sum(g.store.size for g in stores),
             "stored_members": sum(g.store.member_total for g in stores),

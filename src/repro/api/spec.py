@@ -23,6 +23,14 @@ keyword surface minus the two algorithm-defining rules (candidate rule
 and selector come from the :mod:`~repro.api.registry`) and per-call
 data such as ``blocked`` masks, which describe the query, not the
 engine configuration.
+
+Two fields are special inside an
+:class:`~repro.api.session.AllocationSession` (and therefore inside
+the grid runner's ``warm_per_dataset`` execution mode, which drives
+every cell of a dataset through one session): ``sampler_backend`` and
+``workers`` are pinned by the session's base spec — live sampler
+backends persist inside the warm RR stores, so per-solve specs cannot
+flip them mid-session.
 """
 
 from __future__ import annotations

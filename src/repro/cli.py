@@ -17,6 +17,7 @@ Examples::
         --incentives linear --alpha 1.5 --n 1000
     python -m repro sweep --dataset flixster_syn --models linear constant
     python -m repro grid --spec specs/smoke.json
+    python -m repro grid --spec specs/fig5.json --execution warm_per_dataset
     python -m repro ingest data/soc-Epinions1.txt --cache
     python -m repro table --which 1
     python -m repro tightness
@@ -158,6 +159,18 @@ def cmd_table(args) -> int:
 
 
 def cmd_grid(args) -> int:
+    """Run a scenario grid; see ``docs/EXPERIMENTS.md`` for the manifest.
+
+    Each completed cell appends one JSONL row carrying the cell axes,
+    the results (``revenue`` / ``seed_cost`` / ``seeds`` /
+    ``runtime_s``), the resolved ``engine_spec``, and — in
+    ``warm_per_dataset`` execution — a ``session`` provenance block
+    (group key, solve index, per-cell sampler/store-hit deltas).  The
+    header line pins the spec digest, config and execution mode; the
+    rendered table is persisted via
+    :func:`repro.experiments.reporting.save_report` under the results
+    directory (``REPRO_RESULTS_DIR``, default ``benchmarks/results/``).
+    """
     from repro.experiments.grid import (
         GridSpec,
         default_manifest_path,
@@ -176,15 +189,27 @@ def cmd_grid(args) -> int:
         overrides["share_samples"] = True
     if getattr(args, "eager", False):
         overrides["lazy_candidates"] = False
+    mode = args.execution or spec.execution_mode
     total = len(spec.cells())
-    print(f"# grid={spec.name} cells={total} seed={spec.seed} manifest={manifest}")
+    print(
+        f"# grid={spec.name} cells={total} seed={spec.seed} "
+        f"execution={mode} manifest={manifest}"
+    )
 
     def progress(done, total, row):
         if not args.quiet:
-            print(
+            line = (
                 f"# [{done}/{total}] {row['dataset']} {row['algorithm']} "
                 f"alpha={row['alpha']} -> revenue={row['revenue']:.1f}"
             )
+            session = row.get("session")
+            if session is not None:
+                line += (
+                    f" [session {session['group']}"
+                    f" solve={session['solve_index']}"
+                    f" sampled={session['sets_sampled']}]"
+                )
+            print(line)
 
     rows = run_grid(
         spec,
@@ -192,6 +217,7 @@ def cmd_grid(args) -> int:
         resume=not args.fresh,
         config_overrides=overrides,
         progress=progress,
+        execution=args.execution,
     )
     table = format_table(grid_table_rows(rows))
     print(table)
@@ -341,6 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh",
         action="store_true",
         help="overwrite the manifest instead of resuming it",
+    )
+    p.add_argument(
+        "--execution",
+        # Literal copy of repro.experiments.grid.EXECUTION_MODES: the
+        # grid module stays lazily imported (cmd_grid), and run_grid
+        # re-validates the value against the real constant anyway.
+        choices=("cold", "warm_per_dataset"),
+        default=None,
+        help="override the spec's execution block: 'cold' solves every "
+        "cell from scratch (order-independent results); "
+        "'warm_per_dataset' drives each dataset's cells through one "
+        "AllocationSession, reusing RR samples across cells and "
+        "recording the reuse in each manifest row's session block",
     )
     p.add_argument("--quiet", action="store_true", help="no per-cell progress")
     p.add_argument(

@@ -174,6 +174,14 @@ class EngineWarmState:
     * ``wrap_sampler`` — optional hook applied to each newly created
       sampler backend (sessions install a counting proxy here so reuse
       is observable).
+    * ``counters`` — cumulative reuse observability: each engine run
+      counts, once per *distinct* probability vector it touches, a
+      ``store_hits`` (the warm state already held that vector's store)
+      or a ``store_misses`` (a new store was created).  Sessions expose
+      these through :attr:`~repro.api.session.AllocationSession.stats`,
+      and the grid runner's warm mode records per-cell deltas in its
+      manifest rows — so RR reuse is auditable provenance, not silent
+      behavior.
     """
 
     def __init__(self) -> None:
@@ -181,6 +189,7 @@ class EngineWarmState:
         self.pagerank_orders: dict[bytes, np.ndarray] = {}
         self.pool: SharedGraphPool | None = None
         self.wrap_sampler = None
+        self.counters = {"store_hits": 0, "store_misses": 0}
 
 
 class _AdState:
@@ -370,6 +379,7 @@ class TIEngine:
         # created by an earlier solve — including their already-sampled
         # stores — are found and reused here.
         groups = self._warm.stores if self._warm is not None else {}
+        counted: set[bytes] = set()
         for ad in range(h):
             state = _AdState()
             state.rng = rngs[ad]
@@ -377,6 +387,13 @@ class TIEngine:
                 key = self._prob_group_key(ad)
                 kpt_params = (self.ell, self.kpt_max_samples)
                 group = groups.get(key)
+                if self._warm is not None and key not in counted:
+                    # Reuse observability: one hit/miss per distinct
+                    # probability vector per run, not per ad sharing it.
+                    counted.add(key)
+                    self._warm.counters[
+                        "store_hits" if group is not None else "store_misses"
+                    ] += 1
                 if group is None:
                     sampler = self._make_sampler(ad)
                     kpt = (

@@ -21,6 +21,23 @@ windows — and :func:`run_grid` runs the full cross product:
   ``--workers``) selects the serial / shared-memory-parallel RR sampling
   backend for every cell, exactly as in single runs.
 
+* **Execution modes (docs/ARCHITECTURE.md §10).**  The optional
+  ``execution`` block selects how cells are driven:
+
+  - ``{"mode": "cold"}`` (the default) solves every cell from scratch —
+    results are a pure function of ``(spec, root seed)``, independent
+    of execution order and resume history;
+  - ``{"mode": "warm_per_dataset"}`` groups cells by dataset entry and
+    drives each group through one
+    :class:`~repro.api.session.AllocationSession`, so cells after the
+    first adopt the group's already-drawn RR stores (the paper's
+    evaluation shape — many solves over one graph — typically re-solves
+    several times faster warm; see ``BENCH_grid.json``).  Reuse trades
+    order-independence for speed: each cell's manifest row carries a
+    ``session`` provenance block (group key, solve index, per-cell
+    sampler-call / store-hit deltas), and the manifest header pins the
+    execution mode so cold and warm rows can never silently mix.
+
 Specs are plain JSON (see ``specs/`` at the repo root)::
 
     {
@@ -28,6 +45,7 @@ Specs are plain JSON (see ``specs/`` at the repo root)::
       "datasets": [{"name": "epinions_syn", "n": 150, "h": 3}],
       "algorithms": ["TI-CSRM", "TI-CARM"],
       "alphas": [0.5, 1.0],
+      "execution": {"mode": "warm_per_dataset"},
       "config": {"eps": 1.0, "theta_cap": 200}
     }
 
@@ -47,6 +65,7 @@ import numpy as np
 
 from repro.errors import SpecError
 from repro.api.registry import algorithm_names
+from repro.api.session import AllocationSession
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import (
     Dataset,
@@ -61,6 +80,9 @@ MANIFEST_VERSION = 1
 
 #: Manifest/table columns every cell row carries (besides the axes).
 CELL_RESULT_FIELDS = ("revenue", "seed_cost", "seeds", "runtime_s")
+
+#: How run_grid drives the cells of a spec (docs/ARCHITECTURE.md §10).
+EXECUTION_MODES = ("cold", "warm_per_dataset")
 
 
 def _canonical(data) -> str:
@@ -123,7 +145,11 @@ class GridSpec:
     """A declarative scenario matrix (see the module docstring).
 
     ``None`` entries on the ``h`` / ``budgets`` / ``cpes`` / ``windows``
-    axes mean "dataset default" (no override / full window).
+    axes mean "dataset default" (no override / full window).  The
+    ``execution`` block (``{"mode": "cold" | "warm_per_dataset"}``,
+    default cold) selects how :func:`run_grid` drives the cells; it
+    changes *how* results are computed, never *which* cells exist, so
+    it does not enter :meth:`spec_key`.
     """
 
     name: str
@@ -137,8 +163,24 @@ class GridSpec:
     windows: tuple = (None,)
     seed: int = 7
     config: dict = field(default_factory=dict)
+    execution: dict = field(default_factory=dict)
 
     def __post_init__(self):
+        if not isinstance(self.execution, dict):
+            raise SpecError(
+                "execution must be an object like "
+                '{"mode": "warm_per_dataset"}, got '
+                f"{self.execution!r}"
+            )
+        unknown = set(self.execution) - {"mode"}
+        if unknown:
+            raise SpecError(f"unknown execution keys: {sorted(unknown)}")
+        mode = self.execution.get("mode", "cold")
+        if mode not in EXECUTION_MODES:
+            raise SpecError(
+                f"unknown execution mode {mode!r}; options: {EXECUTION_MODES}"
+            )
+        object.__setattr__(self, "execution", {"mode": mode})
         if not self.datasets:
             raise SpecError("spec needs at least one dataset entry")
         for entry in self.datasets:
@@ -196,18 +238,38 @@ class GridSpec:
             raise SpecError(f"spec {path!r} must hold a JSON object")
         return cls.from_dict(data)
 
+    @property
+    def execution_mode(self) -> str:
+        """The normalized execution mode (``"cold"`` when unspecified)."""
+        return self.execution["mode"]
+
     def to_dict(self) -> dict:
-        """The spec as a JSON-able dict (inverse of :meth:`from_dict`)."""
+        """The spec as a JSON-able dict (inverse of :meth:`from_dict`).
+
+        A default (cold) ``execution`` block is omitted, so the
+        canonical form — and therefore :meth:`spec_key` — of every
+        pre-execution-mode spec is byte-identical to what it always was.
+        """
         data = asdict(self)
         for key, value in data.items():
             if isinstance(value, tuple):
                 data[key] = list(value)
         data["datasets"] = [dict(entry) for entry in self.datasets]
+        if data["execution"] == {"mode": "cold"}:
+            del data["execution"]
         return data
 
     def spec_key(self) -> str:
-        """Digest pinning the full spec (axes + root seed)."""
-        return hashlib.sha256(_canonical(self.to_dict()).encode()).hexdigest()[:16]
+        """Digest pinning the spec's *matrix* (axes + root seed).
+
+        The ``execution`` block is excluded: warm and cold runs of one
+        spec compute the same cells, so they share a key — the manifest
+        header pins the execution mode separately (and resume rejects a
+        mode mismatch with its own, clearer error).
+        """
+        data = self.to_dict()
+        data.pop("execution", None)
+        return hashlib.sha256(_canonical(data).encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # The matrix
@@ -286,18 +348,24 @@ def _configs_compatible(previous: dict | None, current: dict) -> bool:
 # Dataset memo (edge-list builds are expensive; synthetic builds are
 # already cached by build_dataset)
 # ----------------------------------------------------------------------
+# Fallback memo for direct run_cell callers only.  run_grid passes its
+# own per-invocation memo instead, so repeated grid runs cannot pile
+# ingested edge-list datasets (graphs + spread arrays) up in module
+# state for the life of the process.
 _DATASET_MEMO: dict[str, Dataset] = {}
 
 
-def _cell_dataset(entry: dict) -> Dataset:
+def _cell_dataset(entry: dict, memo: dict | None = None) -> Dataset:
+    if memo is None:
+        memo = _DATASET_MEMO
     key = _canonical(entry)
-    if key not in _DATASET_MEMO:
+    if key not in memo:
         kwargs = dict(entry)
         if "path" in kwargs:
-            _DATASET_MEMO[key] = build_edge_list_dataset(kwargs.pop("path"), **kwargs)
+            memo[key] = build_edge_list_dataset(kwargs.pop("path"), **kwargs)
         else:
-            _DATASET_MEMO[key] = build_dataset(kwargs.pop("name"), **kwargs)
-    return _DATASET_MEMO[key]
+            memo[key] = build_dataset(kwargs.pop("name"), **kwargs)
+    return memo[key]
 
 
 def clear_grid_caches() -> None:
@@ -306,11 +374,101 @@ def clear_grid_caches() -> None:
 
 
 # ----------------------------------------------------------------------
+# Warm execution: session groups
+# ----------------------------------------------------------------------
+def session_group_key(cell: GridCell) -> str:
+    """The warm-session group a cell belongs to, as a provenance string.
+
+    Cells share an :class:`~repro.api.session.AllocationSession` iff
+    they share a *dataset entry* — the entry (name/path plus every
+    builder option, probability model included) fully determines the
+    graph and the probability family, which is exactly the state a
+    session keeps warm.  Budgets, CPEs, incentives, ``h``, α and the
+    algorithm all vary freely within a group.  The key is
+    human-readable (the dataset label) plus a digest of the full entry,
+    so two entries with the same label but different builder options
+    land in different groups.
+    """
+    digest = hashlib.sha256(_canonical(cell.dataset).encode()).hexdigest()[:8]
+    return f"{dataset_label(cell.dataset)}@{digest}"
+
+
+class WarmSessionGroups:
+    """Lifecycle owner of one ``run_grid`` call's warm sessions.
+
+    Sessions are opened lazily (a resumed run whose remaining cells
+    touch one dataset opens one session, a fully resumed run opens
+    none), keyed by :func:`session_group_key`, and every session is
+    closed when the instance exits — including on a crashed cell, so an
+    aborted warm run never orphans a
+    :class:`~repro.rrset.backend.SharedGraphPool` or its shared-memory
+    blocks.  ``run_grid`` additionally closes each group as soon as its
+    last pending cell finishes, bounding peak memory to one dataset's
+    stores at a time.
+
+    The *dataset_memo* must be the same mapping the cells are built
+    from: a session is bound to its graph by identity, so the session's
+    graph and the cells' instances have to come from one
+    :class:`Dataset` object.
+    """
+
+    def __init__(self, config: ExperimentConfig, dataset_memo: dict) -> None:
+        self._config = config
+        self._memo = dataset_memo
+        self._sessions: dict[str, AllocationSession] = {}
+
+    def session_for(self, cell: GridCell) -> AllocationSession:
+        """The (lazily opened) session of *cell*'s group."""
+        key = session_group_key(cell)
+        session = self._sessions.get(key)
+        if session is None:
+            dataset = _cell_dataset(cell.dataset, self._memo)
+            # The config pins backend/workers for the whole group (an
+            # AllocationSession never lets per-solve specs flip them).
+            session = AllocationSession(
+                dataset.graph, spec=self._config.engine_spec(opt_lower="kpt")
+            )
+            self._sessions[key] = session
+        return session
+
+    def close_group(self, key: str) -> None:
+        """Close and drop one group's session (no-op if never opened)."""
+        session = self._sessions.pop(key, None)
+        if session is not None:
+            session.close()
+
+    def close(self) -> None:
+        """Close every remaining session (idempotent)."""
+        for key in list(self._sessions):
+            self.close_group(key)
+
+    def __enter__(self) -> "WarmSessionGroups":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
 # Running cells and manifests
 # ----------------------------------------------------------------------
-def run_cell(spec: GridSpec, cell: GridCell, config: ExperimentConfig) -> dict:
-    """Run one cell; returns its manifest row."""
-    dataset = _cell_dataset(cell.dataset)
+def run_cell(
+    spec: GridSpec,
+    cell: GridCell,
+    config: ExperimentConfig,
+    *,
+    session: AllocationSession | None = None,
+    dataset_memo: dict | None = None,
+) -> dict:
+    """Run one cell; returns its manifest row.
+
+    *session*, when given, threads an
+    :class:`~repro.api.session.AllocationSession` through the solve
+    (warm execution; the caller owns the session's lifecycle and
+    provenance recording).  *dataset_memo* scopes the dataset cache to
+    the caller; ``None`` falls back to the module-level memo.
+    """
+    dataset = _cell_dataset(cell.dataset, dataset_memo)
     instance = dataset.build_instance(
         incentive_model=cell.incentive_model,
         alpha=cell.alpha,
@@ -320,7 +478,13 @@ def run_cell(spec: GridSpec, cell: GridCell, config: ExperimentConfig) -> dict:
     )
     seed = cell.seed(spec.seed)
     result = run_algorithm(
-        cell.algorithm, dataset, instance, config, window=cell.window, seed=seed
+        cell.algorithm,
+        dataset,
+        instance,
+        config,
+        window=cell.window,
+        seed=seed,
+        session=session,
     )
     row = {"kind": "cell", "cell_id": cell.cell_id, "cell_seed": seed}
     row.update(cell.params())
@@ -336,13 +500,53 @@ def run_cell(spec: GridSpec, cell: GridCell, config: ExperimentConfig) -> dict:
     return row
 
 
+def _run_warm_cell(
+    spec: GridSpec,
+    cell: GridCell,
+    config: ExperimentConfig,
+    groups: WarmSessionGroups,
+    memo: dict,
+) -> dict:
+    """Run one cell through its group session; row gains a ``session`` block.
+
+    The block records the reuse this cell actually saw, as deltas of
+    the session counters around the solve:
+
+    * ``group`` — the cell's :func:`session_group_key`;
+    * ``solve_index`` — 0-based position within the group's session
+      (an uninterrupted run numbers the group's cells 0, 1, …);
+    * ``warm_resolve`` — the session was already warm when this cell
+      ran (``solve_index > 0``: it could adopt earlier cells' RR sets);
+    * ``sample_batches`` / ``sets_sampled`` — sampler work *this* cell
+      performed (0 sets for a fully store-served re-solve);
+    * ``store_hits`` / ``store_misses`` — per distinct probability
+      vector, whether this cell found an existing store or created one;
+    * ``stored_sets`` — the group store total after this cell.
+    """
+    session = groups.session_for(cell)
+    before = session.stats
+    row = run_cell(spec, cell, config, session=session, dataset_memo=memo)
+    after = session.stats
+    row["session"] = {
+        "group": session_group_key(cell),
+        "solve_index": after["solves"] - 1,
+        "warm_resolve": after["solves"] > 1,
+        "sample_batches": after["sample_batches"] - before["sample_batches"],
+        "sets_sampled": after["sets_sampled"] - before["sets_sampled"],
+        "store_hits": after["store_hits"] - before["store_hits"],
+        "store_misses": after["store_misses"] - before["store_misses"],
+        "stored_sets": after["stored_sets"],
+    }
+    return row
+
+
 def default_manifest_path(spec: GridSpec) -> str:
     """Where :func:`run_grid` writes the manifest when not told otherwise."""
     return os.path.join(results_dir(), f"grid_{spec.name}.jsonl")
 
 
-def _manifest_header(spec: GridSpec, config: ExperimentConfig) -> dict:
-    return {
+def _manifest_header(spec: GridSpec, config: ExperimentConfig, mode: str) -> dict:
+    header = {
         "kind": "header",
         "manifest_version": MANIFEST_VERSION,
         "spec_name": spec.name,
@@ -351,6 +555,11 @@ def _manifest_header(spec: GridSpec, config: ExperimentConfig) -> dict:
         "config": asdict(config),
         "total_cells": len(spec.cells()),
     }
+    # Cold headers stay byte-identical to pre-execution-mode manifests
+    # (which were all cold), so they remain mutually resumable.
+    if mode != "cold":
+        header["execution_mode"] = mode
+    return header
 
 
 def load_manifest(path: str) -> tuple[dict | None, list[dict]]:
@@ -384,18 +593,40 @@ def run_grid(
     resume: bool = True,
     config_overrides: dict | None = None,
     progress=None,
+    execution: str | None = None,
 ) -> list[dict]:
     """Run every cell of *spec*, resuming from *manifest_path* if present.
 
-    Returns one row per cell (completed rows loaded from the manifest,
-    fresh rows appended to it as they finish — the manifest is valid
-    after every cell, so an interrupted run resumes where it stopped).
-    *progress*, when given, is called with ``(done, total, row)`` after
-    each cell.
+    Returns one row per cell, in :meth:`GridSpec.cells` order
+    (completed rows loaded from the manifest, fresh rows appended to it
+    as they finish — the manifest is valid after every cell, so an
+    interrupted run resumes where it stopped).  *progress*, when given,
+    is called with ``(done, total, row)`` after each cell, in
+    *execution* order.
+
+    *execution* overrides the spec's ``execution`` block (CLI
+    ``--execution``).  In ``warm_per_dataset`` mode cells are executed
+    group-contiguously (groups ordered by first appearance, cells in
+    spec order within a group), each group solving through one
+    :class:`~repro.api.session.AllocationSession` whose lifecycle is
+    owned by this call — sessions close when their group finishes, and
+    unconditionally on any error.  The manifest header pins the mode;
+    resuming a manifest under a different mode raises
+    :class:`~repro.errors.SpecError`.  Warm runs are deterministic for
+    a fixed ``(spec, root seed)`` but — unlike cold runs — a *resumed*
+    warm run re-opens sessions, so cells completed after an
+    interruption may differ from an uninterrupted run's (statistically
+    equivalent either way; the per-row ``session`` block records what
+    each cell actually reused).
     """
     manifest_path = manifest_path or default_manifest_path(spec)
+    mode = spec.execution_mode if execution is None else str(execution)
+    if mode not in EXECUTION_MODES:
+        raise SpecError(
+            f"unknown execution mode {mode!r}; options: {EXECUTION_MODES}"
+        )
     config = spec.experiment_config(**(config_overrides or {}))
-    header = _manifest_header(spec, config)
+    header = _manifest_header(spec, config, mode)
     completed: dict[str, dict] = {}
     resuming = (
         resume
@@ -420,6 +651,15 @@ def run_grid(
                 f"to {header['spec_key']!r} — the spec changed; use a new "
                 "manifest or pass resume=False"
             )
+        previous_mode = previous.get("execution_mode", "cold")
+        if previous_mode != mode:
+            raise SpecError(
+                f"manifest {manifest_path!r} was written under execution "
+                f"mode {previous_mode!r} but this run uses {mode!r} — warm "
+                "session reuse draws different (equally valid) RR samples "
+                "than cold solves, so mixing modes would mix incomparable "
+                "cells; use a new manifest or pass resume=False"
+            )
         if not _configs_compatible(previous.get("config"), header["config"]):
             raise SpecError(
                 f"manifest {manifest_path!r} was run with a different "
@@ -433,18 +673,40 @@ def run_grid(
         with open(manifest_path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(header, sort_keys=True) + "\n")
     cells = spec.cells()
-    out: list[dict] = []
-    with open(manifest_path, "a", encoding="utf-8") as fh:
-        for done, cell in enumerate(cells, start=1):
+    warm = mode == "warm_per_dataset"
+    order = list(range(len(cells)))
+    keys: list[str] = []
+    if warm:
+        # Group-contiguous execution: one session opens, serves all of
+        # its group's pending cells, and closes before the next group.
+        keys = [session_group_key(cell) for cell in cells]
+        first_seen: dict[str, int] = {}
+        for index, key in enumerate(keys):
+            first_seen.setdefault(key, index)
+        order.sort(key=lambda index: (first_seen[keys[index]], index))
+    memo: dict[str, Dataset] = {}
+    rows_by_id: dict[str, dict] = dict(completed)
+    with open(manifest_path, "a", encoding="utf-8") as fh, WarmSessionGroups(
+        config, memo
+    ) as groups:
+        for done, index in enumerate(order, start=1):
+            cell = cells[index]
             row = completed.get(cell.cell_id)
             if row is None:
-                row = run_cell(spec, cell, config)
+                if warm:
+                    row = _run_warm_cell(spec, cell, config, groups, memo)
+                else:
+                    row = run_cell(spec, cell, config, dataset_memo=memo)
                 fh.write(json.dumps(row, sort_keys=True) + "\n")
                 fh.flush()
-            out.append(row)
+                rows_by_id[cell.cell_id] = row
+            if warm and (
+                done == len(order) or keys[order[done]] != keys[index]
+            ):
+                groups.close_group(keys[index])
             if progress is not None:
                 progress(done, len(cells), row)
-    return out
+    return [rows_by_id[cell.cell_id] for cell in cells]
 
 
 def grid_table_rows(rows: list[dict]) -> list[dict]:

@@ -1,8 +1,13 @@
 """Plain-text reporting: paper-style tables and series.
 
-Benchmarks print these tables (the "same rows/series the paper reports")
-and persist them under ``benchmarks/results/`` so EXPERIMENTS.md can be
-filled in from artifacts rather than scrollback.
+Benchmarks and the grid CLI print these tables (the "same rows/series
+the paper reports") and persist them via :func:`save_report` under
+``benchmarks/results/`` (override with the ``REPRO_RESULTS_DIR``
+environment variable), so ``docs/EXPERIMENTS.md`` — the handbook
+mapping each artifact to its paper counterpart — is backed by files
+rather than scrollback.  A grid report is a pure function of its
+manifest: ``format_table(grid_table_rows(load_manifest(path)[1]))``
+re-renders it at any time (EXPERIMENTS.md §3).
 """
 
 from __future__ import annotations

@@ -104,9 +104,11 @@ class TestGridSpec:
         from pathlib import Path
 
         specs_dir = Path(__file__).resolve().parent.parent / "specs"
-        for name in ("smoke.json", "fig5.json"):
+        for name in ("smoke.json", "smoke_warm.json", "fig5.json"):
             spec = GridSpec.from_json(str(specs_dir / name))
             assert spec.cells()
+        warm = GridSpec.from_json(str(specs_dir / "smoke_warm.json"))
+        assert warm.execution_mode == "warm_per_dataset"
 
 
 class TestRunGrid:

@@ -2,6 +2,8 @@
 
 import os
 
+import pytest
+
 from repro.experiments.reporting import (
     format_table,
     format_value,
@@ -53,3 +55,56 @@ class TestPersistence:
         assert os.path.exists(path)
         assert open(path).read() == "hello\n"
         assert results_dir() == str(tmp_path)
+
+    def test_results_dir_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert results_dir() == os.path.join("benchmarks", "results")
+
+
+class TestGridManifestRoundTrip:
+    """The docs/EXPERIMENTS.md §3 recipe: a grid report is a pure
+    function of its manifest (load -> flatten -> format -> persist)."""
+
+    @pytest.fixture(scope="class")
+    def manifest(self, tmp_path_factory):
+        from repro.experiments.grid import GridSpec, run_grid
+
+        path = str(tmp_path_factory.mktemp("grid") / "m.jsonl")
+        spec = GridSpec.from_dict(
+            {
+                "name": "report_rt",
+                "datasets": [
+                    {"name": "epinions_syn", "n": 120, "h": 2,
+                     "singleton_rr_samples": 400}
+                ],
+                "algorithms": ["TI-CSRM", "TI-CARM"],
+                "alphas": [0.5, 1.0],
+                "seed": 3,
+                "config": {"eps": 1.0, "theta_cap": 100},
+            }
+        )
+        run_grid(spec, path)
+        return path
+
+    def test_manifest_rows_render_and_persist(
+        self, manifest, tmp_path, monkeypatch
+    ):
+        from repro.experiments.grid import grid_table_rows, load_manifest
+
+        header, rows = load_manifest(manifest)
+        assert header["total_cells"] == len(rows) == 4
+        table = format_table(grid_table_rows(rows))
+        lines = table.splitlines()
+        assert len(lines) == 2 + 4  # header, rule, one line per cell
+        assert lines[0].split()[:2] == ["dataset", "algorithm"]
+        assert all("epinions_syn" in line for line in lines[2:])
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+        path = save_report("grid_report_rt", table)
+        assert path == str(tmp_path / "out" / "grid_report_rt.txt")
+        assert open(path).read() == table + "\n"
+
+    def test_rendered_table_is_pure_function_of_manifest(self, manifest):
+        from repro.experiments.grid import grid_table_rows, load_manifest
+
+        render = lambda: format_table(grid_table_rows(load_manifest(manifest)[1]))
+        assert render() == render()

@@ -15,9 +15,10 @@ Formats accepted after the path:
 
 Resolution is purely syntactic (``ast``), so the check needs no
 imports, no dependencies and no ``PYTHONPATH``.  Exit code is non-zero
-when any marker fails to resolve, or when ``docs/ARCHITECTURE.md``
-exists but contains no markers at all (a wholesale deletion should
-fail loudly, not pass vacuously).
+when any marker fails to resolve, or when a contract document
+(``docs/ARCHITECTURE.md``, ``docs/EXPERIMENTS.md``) exists but
+contains no markers at all (a wholesale deletion should fail loudly,
+not pass vacuously).
 
 Usage: ``python tools/check_doc_markers.py [repo_root]``
 """
@@ -117,12 +118,13 @@ def main(argv: list[str] | None = None) -> int:
             error = resolve(root, target)
             if error is not None:
                 failures.append(f"{md.relative_to(root)}:{lineno}: {target} — {error}")
-    arch = root / "docs" / "ARCHITECTURE.md"
-    if arch.is_file() and not find_markers(arch):
-        failures.append(
-            "docs/ARCHITECTURE.md: contains no staleness markers "
-            "(sections must stay tied to code)"
-        )
+    for name in ("ARCHITECTURE.md", "EXPERIMENTS.md"):
+        doc = root / "docs" / name
+        if doc.is_file() and not find_markers(doc):
+            failures.append(
+                f"docs/{name}: contains no staleness markers "
+                "(sections must stay tied to code)"
+            )
     if failures:
         print(f"{len(failures)} stale doc marker(s):")
         for failure in failures:
