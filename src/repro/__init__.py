@@ -42,7 +42,12 @@ from repro.errors import (
     SpecError,
     EstimationError,
     ConvergenceError,
+    WorkerCrashError,
+    PoolDegradedError,
+    CellTimeoutError,
+    FaultInjectedError,
 )
+from repro.faults import FaultPlan, FaultRule, fault_plan
 from repro.graph import (
     DiGraph,
     pagerank,
@@ -120,7 +125,7 @@ from repro.experiments import (
     run_grid,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -131,6 +136,13 @@ __all__ = [
     "SpecError",
     "EstimationError",
     "ConvergenceError",
+    "WorkerCrashError",
+    "PoolDegradedError",
+    "CellTimeoutError",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultRule",
+    "fault_plan",
     "DiGraph",
     "pagerank",
     "compute_stats",

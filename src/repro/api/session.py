@@ -63,6 +63,11 @@ class _CountingBackend(SamplerBackend):
         self._stats["sets_sampled"] += int(count)
         return self._inner.sample_batch_flat(count, rng)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the wrapped backend fell back to in-process sampling."""
+        return bool(getattr(self._inner, "degraded", False))
+
     def close(self) -> None:
         self._inner.close()
 
@@ -175,6 +180,15 @@ class AllocationSession:
         :class:`~repro.core.ti_engine.EngineWarmState`); the grid
         runner's warm mode snapshots these around each cell to record
         reuse provenance in its manifest rows.
+
+        The warm counters also carry the fault-tolerance provenance
+        (docs/ARCHITECTURE.md §11): ``worker_respawns`` and
+        ``shards_recovered`` count supervised recoveries inside this
+        session's :class:`~repro.rrset.backend.SharedGraphPool`, and
+        ``pool_degraded`` counts backends that fell back to in-process
+        sampling after the pool proved unrecoverable —
+        ``pool_degraded_state`` reports whether the session is
+        currently in that degraded mode.
         """
         stores = list(self._warm.stores.values())
         return {
@@ -184,7 +198,9 @@ class AllocationSession:
             "stored_sets": sum(g.store.size for g in stores),
             "stored_members": sum(g.store.member_total for g in stores),
             "pagerank_orders": len(self._warm.pagerank_orders),
-            "pool_active": self._warm.pool is not None,
+            "pool_active": self._warm.pool is not None
+            and not self._warm.pool.failed,
+            "pool_degraded_state": self._warm.pool_failed,
         }
 
     # ------------------------------------------------------------------

@@ -36,6 +36,10 @@ from repro.experiments.harness import ALGORITHMS, run_algorithm
 from repro.experiments.reporting import format_table
 from repro.experiments.tables import table1_rows, table2_rows
 
+#: ``grid`` exit code: the grid completed but left quarantined cells
+#: behind (re-run the same manifest to re-attempt them).
+EXIT_QUARANTINED = 3
+
 
 def _dataset_kwargs(args) -> dict:
     kwargs: dict = {}
@@ -170,6 +174,12 @@ def cmd_grid(args) -> int:
     rendered table is persisted via
     :func:`repro.experiments.reporting.save_report` under the results
     directory (``REPRO_RESULTS_DIR``, default ``benchmarks/results/``).
+
+    Failed cells are quarantined as ``"cell_error"`` rows (see
+    ``--cell-timeout`` / ``--max-retries``) instead of aborting; when
+    any remain, a quarantine table is printed and the command exits
+    with code ``EXIT_QUARANTINED`` (3) — re-running the same manifest
+    re-attempts exactly those cells.
     """
     from repro.experiments.grid import (
         GridSpec,
@@ -198,10 +208,14 @@ def cmd_grid(args) -> int:
 
     def progress(done, total, row):
         if not args.quiet:
-            line = (
-                f"# [{done}/{total}] {row['dataset']} {row['algorithm']} "
-                f"alpha={row['alpha']} -> revenue={row['revenue']:.1f}"
-            )
+            prefix = f"# [{done}/{total}] {row['dataset']} {row['algorithm']} "
+            if row.get("kind") == "cell_error":
+                print(
+                    prefix + f"alpha={row['alpha']} -> QUARANTINED "
+                    f"{row['error_type']} after {row['attempts']} attempt(s)"
+                )
+                return
+            line = prefix + f"alpha={row['alpha']} -> revenue={row['revenue']:.1f}"
             session = row.get("session")
             if session is not None:
                 line += (
@@ -218,13 +232,37 @@ def cmd_grid(args) -> int:
         config_overrides=overrides,
         progress=progress,
         execution=args.execution,
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
     )
-    table = format_table(grid_table_rows(rows))
+    errors = [row for row in rows if row.get("kind") == "cell_error"]
+    table = format_table(
+        grid_table_rows([row for row in rows if row.get("kind") == "cell"])
+    )
     print(table)
     from repro.experiments.reporting import save_report
 
     report_path = save_report(f"grid_{spec.name}", table)
     print(f"# report saved to {report_path}")
+    if errors:
+        print(f"# {len(errors)} quarantined cell(s):")
+        print(
+            format_table(
+                [
+                    {
+                        "dataset": row["dataset"],
+                        "algorithm": row["algorithm"],
+                        "alpha": row["alpha"],
+                        "attempts": row["attempts"],
+                        "error_type": row["error_type"],
+                        "error": row["error"][:60],
+                    }
+                    for row in errors
+                ]
+            )
+        )
+        print("# re-run the same command to re-attempt quarantined cells")
+        return EXIT_QUARANTINED
     return 0
 
 
@@ -382,6 +420,23 @@ def build_parser() -> argparse.ArgumentParser:
         "recording the reuse in each manifest row's session block",
     )
     p.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        dest="cell_timeout",
+        help="per-cell wall-clock timeout in seconds (default: the spec's "
+        "execution.cell_timeout_s, else unbounded); a timed-out cell is "
+        "retried, then quarantined",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        dest="max_retries",
+        help="retries after a cell's first failure before quarantining it "
+        "(default: the spec's execution.max_retries, else 0)",
+    )
     p.add_argument(
         "--workers",
         type=int,

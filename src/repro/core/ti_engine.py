@@ -93,12 +93,14 @@ import time
 import numpy as np
 
 from repro._rng import as_generator, spawn
-from repro.errors import AllocationError, EstimationError
+from repro.errors import AllocationError, EstimationError, WorkerCrashError
 from repro.graph.pagerank import pagerank_order
 from repro.rrset.backend import (
+    FAULT_COUNTER_KEYS,
     SamplerBackend,
     SharedGraphPool,
     make_backend,
+    new_fault_counters,
     resolve_backend,
 )
 from repro.rrset.collection import RRCollection, SharedRRCollection, SharedRRStore
@@ -181,15 +183,25 @@ class EngineWarmState:
       these through :attr:`~repro.api.session.AllocationSession.stats`,
       and the grid runner's warm mode records per-cell deltas in its
       manifest rows — so RR reuse is auditable provenance, not silent
-      behavior.
+      behavior.  The same dict carries the fault-tolerance counters
+      (``worker_respawns`` / ``shards_recovered`` / ``pool_degraded``,
+      docs/ARCHITECTURE.md §11): it is handed to the session's
+      :class:`SharedGraphPool` and backends, which increment it in
+      place as they recover from or degrade around worker failures.
+    * ``pool_failed`` — set once pool infrastructure for this warm
+      state proved unusable (creation failed or the pool declared
+      itself unrecoverable); later solves go straight to degraded
+      in-process sampling instead of re-attempting a doomed pool.
     """
 
     def __init__(self) -> None:
         self.stores: dict[bytes, _WarmGroup] = {}
         self.pagerank_orders: dict[bytes, np.ndarray] = {}
         self.pool: SharedGraphPool | None = None
+        self.pool_failed = False
         self.wrap_sampler = None
         self.counters = {"store_hits": 0, "store_misses": 0}
+        self.counters.update(new_fault_counters())
 
 
 class _AdState:
@@ -296,6 +308,12 @@ class TIEngine:
         self.sampler_backend = sampler_backend
         self.workers = workers
         self._pool: SharedGraphPool | None = None
+        self._pool_failed = False
+        # Recovery/degradation provenance: shared with the session's
+        # warm counters when warm, private to this run otherwise.
+        self._fault_counters = (
+            warm.counters if warm is not None else new_fault_counters()
+        )
         self.blocked = None if blocked is None else np.asarray(blocked, dtype=bool)
         self.rng = as_generator(seed)
         rule_name = getattr(candidate_rule, "__name__", candidate_rule)
@@ -339,15 +357,16 @@ class TIEngine:
         """
         inst = self.instance
         if self.sampler_backend == "parallel" and self.workers > 1:
-            if self._warm is not None:
-                if self._warm.pool is None:
-                    self._warm.pool = SharedGraphPool(inst.graph, self.workers)
-                pool = self._warm.pool
-            else:
-                if self._pool is None:
-                    self._pool = SharedGraphPool(inst.graph, self.workers)
-                pool = self._pool
-            sampler = make_backend(inst.graph, inst.ad_probs[ad], "parallel", pool=pool)
+            pool, degraded = self._acquire_pool()
+            sampler = make_backend(
+                inst.graph,
+                inst.ad_probs[ad],
+                "parallel",
+                workers=self.workers,
+                pool=pool,
+                counters=self._fault_counters,
+                degraded=degraded,
+            )
         else:
             sampler = make_backend(
                 inst.graph,
@@ -358,6 +377,35 @@ class TIEngine:
         if self._warm is not None and self._warm.wrap_sampler is not None:
             sampler = self._warm.wrap_sampler(sampler)
         return sampler
+
+    def _acquire_pool(self) -> tuple[SharedGraphPool | None, bool]:
+        """The run's shared pool, or ``(None, True)`` once degraded.
+
+        The pool lives on the session's warm state in warm mode (the
+        session closes it) or on the engine otherwise (``run`` closes
+        it).  A pool that cannot be built — or that failed mid-run —
+        marks the holder degraded, so every later backend of this run
+        (or session) samples in-process without re-attempting the
+        broken infrastructure, and ``pool_degraded`` records the event.
+        """
+        warm = self._warm
+        pool = warm.pool if warm is not None else self._pool
+        failed = warm.pool_failed if warm is not None else self._pool_failed
+        if pool is not None and pool.failed:
+            pool, failed = None, True
+        if pool is None and not failed:
+            try:
+                pool = SharedGraphPool(
+                    self.instance.graph, self.workers, counters=self._fault_counters
+                )
+            except WorkerCrashError:
+                failed = True
+                self._fault_counters["pool_degraded"] += 1
+        if warm is not None:
+            warm.pool, warm.pool_failed = pool, failed
+        else:
+            self._pool, self._pool_failed = pool, failed
+        return pool, failed
 
     def _init_states(self) -> None:
         inst = self.instance
@@ -607,6 +655,9 @@ class TIEngine:
 
     def _run(self) -> AllocationResult:
         start = time.perf_counter()
+        fault_before = {
+            key: self._fault_counters.get(key, 0) for key in FAULT_COUNTER_KEYS
+        }
         inst = self.instance
         h = inst.h
         self._init_states()
@@ -692,6 +743,17 @@ class TIEngine:
                 "selector": getattr(self.selector, "__name__", self.selector),
                 "sampler_backend": self.sampler_backend,
                 "workers": self.workers,
+                # Recovery/degradation this run actually saw (deltas, so
+                # warm sessions don't bleed earlier solves' events in).
+                "fault_counters": {
+                    key: self._fault_counters.get(key, 0) - fault_before[key]
+                    for key in FAULT_COUNTER_KEYS
+                },
+                "degraded": (
+                    self._fault_counters.get("pool_degraded", 0)
+                    - fault_before["pool_degraded"]
+                )
+                > 0,
             },
         )
 

@@ -38,6 +38,17 @@ windows — and :func:`run_grid` runs the full cross product:
     sampler-call / store-hit deltas), and the manifest header pins the
     execution mode so cold and warm rows can never silently mix.
 
+* **Cell retry and quarantine (docs/ARCHITECTURE.md §11).**  The
+  ``execution`` block's ``cell_timeout_s`` / ``max_retries`` /
+  ``retry_backoff_s`` knobs bound each cell's wall clock and retry
+  failing cells with exponential backoff; a cell that exhausts its
+  attempts is *quarantined* — written to the manifest as a typed
+  ``"cell_error"`` row — instead of aborting the grid, and resume
+  re-attempts quarantined cells.  In warm mode a failing cell's
+  session group is torn down (pool included) before the retry, so a
+  poisoned :class:`~repro.api.session.AllocationSession` is never
+  reused and never leaks.
+
 Specs are plain JSON (see ``specs/`` at the repo root)::
 
     {
@@ -59,11 +70,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import MISSING, asdict, dataclass, field
 
 import numpy as np
 
-from repro.errors import SpecError
+from repro import faults as _faults
+from repro.errors import CellTimeoutError, FaultInjectedError, SpecError
 from repro.api.registry import algorithm_names
 from repro.api.session import AllocationSession
 from repro.experiments.config import ExperimentConfig
@@ -83,6 +99,15 @@ CELL_RESULT_FIELDS = ("revenue", "seed_cost", "seeds", "runtime_s")
 
 #: How run_grid drives the cells of a spec (docs/ARCHITECTURE.md §10).
 EXECUTION_MODES = ("cold", "warm_per_dataset")
+
+#: Execution-block keys beyond ``mode``: the fault-tolerance knobs
+#: (docs/ARCHITECTURE.md §11).  They change *how* cells are driven,
+#: never which cells exist or what a successful cell computes, so —
+#: like ``mode`` — they stay outside :meth:`GridSpec.spec_key`.
+EXECUTION_FAULT_KEYS = ("cell_timeout_s", "max_retries", "retry_backoff_s")
+
+#: Default exponential-backoff base between cell retry attempts.
+DEFAULT_RETRY_BACKOFF_S = 0.25
 
 
 def _canonical(data) -> str:
@@ -172,7 +197,7 @@ class GridSpec:
                 '{"mode": "warm_per_dataset"}, got '
                 f"{self.execution!r}"
             )
-        unknown = set(self.execution) - {"mode"}
+        unknown = set(self.execution) - {"mode", *EXECUTION_FAULT_KEYS}
         if unknown:
             raise SpecError(f"unknown execution keys: {sorted(unknown)}")
         mode = self.execution.get("mode", "cold")
@@ -180,7 +205,29 @@ class GridSpec:
             raise SpecError(
                 f"unknown execution mode {mode!r}; options: {EXECUTION_MODES}"
             )
-        object.__setattr__(self, "execution", {"mode": mode})
+        normalized = {"mode": mode}
+        timeout = self.execution.get("cell_timeout_s")
+        if timeout is not None:
+            if not isinstance(timeout, (int, float)) or timeout <= 0:
+                raise SpecError(
+                    f"cell_timeout_s must be a positive number, got {timeout!r}"
+                )
+            normalized["cell_timeout_s"] = float(timeout)
+        retries = self.execution.get("max_retries")
+        if retries is not None:
+            if not isinstance(retries, int) or retries < 0:
+                raise SpecError(
+                    f"max_retries must be a non-negative integer, got {retries!r}"
+                )
+            normalized["max_retries"] = retries
+        backoff = self.execution.get("retry_backoff_s")
+        if backoff is not None:
+            if not isinstance(backoff, (int, float)) or backoff < 0:
+                raise SpecError(
+                    f"retry_backoff_s must be a non-negative number, got {backoff!r}"
+                )
+            normalized["retry_backoff_s"] = float(backoff)
+        object.__setattr__(self, "execution", normalized)
         if not self.datasets:
             raise SpecError("spec needs at least one dataset entry")
         for entry in self.datasets:
@@ -242,6 +289,21 @@ class GridSpec:
     def execution_mode(self) -> str:
         """The normalized execution mode (``"cold"`` when unspecified)."""
         return self.execution["mode"]
+
+    @property
+    def cell_timeout_s(self) -> float | None:
+        """Per-cell wall-clock timeout; ``None`` means unbounded."""
+        return self.execution.get("cell_timeout_s")
+
+    @property
+    def max_retries(self) -> int:
+        """Retry attempts after a cell's first failure (0 = quarantine at once)."""
+        return self.execution.get("max_retries", 0)
+
+    @property
+    def retry_backoff_s(self) -> float:
+        """Base of the exponential backoff between cell retry attempts."""
+        return self.execution.get("retry_backoff_s", DEFAULT_RETRY_BACKOFF_S)
 
     def to_dict(self) -> dict:
         """The spec as a JSON-able dict (inverse of :meth:`from_dict`).
@@ -540,6 +602,117 @@ def _run_warm_cell(
     return row
 
 
+# ----------------------------------------------------------------------
+# Fault tolerance: per-cell timeout, retries, quarantine rows
+# ----------------------------------------------------------------------
+@contextmanager
+def _cell_deadline(seconds: float | None):
+    """Bound a cell's wall-clock via ``SIGALRM``; raises CellTimeoutError.
+
+    Preempting arbitrary Python needs a signal, so the deadline is only
+    enforceable on the main thread of a POSIX process; elsewhere (or
+    with *seconds* unset) the block runs unbounded — retry/quarantine
+    still applies to ordinary exceptions either way.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(f"cell exceeded its {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _error_row(spec: GridSpec, cell: GridCell, exc: BaseException, attempts: int) -> dict:
+    """The typed quarantine row a failed cell leaves in the manifest.
+
+    Carries the full cell axes (so reports can still group it), the
+    exception class and message, and the attempt count; ``quarantined``
+    marks it for resume, which re-attempts quarantined cells instead of
+    treating them as done.
+    """
+    row = {
+        "kind": "cell_error",
+        "cell_id": cell.cell_id,
+        "cell_seed": cell.seed(spec.seed),
+        "quarantined": True,
+        "attempts": attempts,
+        "error_type": type(exc).__name__,
+        "error": str(exc)[:500],
+    }
+    row.update(cell.params())
+    return row
+
+
+def _run_cell_with_retries(
+    spec: GridSpec,
+    cell: GridCell,
+    config: ExperimentConfig,
+    *,
+    warm: bool,
+    groups: "WarmSessionGroups",
+    memo: dict,
+    cell_timeout: float | None,
+    max_retries: int,
+    retry_backoff: float,
+    sleep=time.sleep,
+) -> dict:
+    """Run one cell under the fault-tolerance contract.
+
+    Each attempt runs under the per-cell deadline; a failing attempt in
+    warm mode first tears down the cell's session group (closing its
+    :class:`~repro.api.session.AllocationSession` and worker pool — a
+    poisoned session is never reused and never orphans its pool), then
+    backs off exponentially and retries.  After ``1 + max_retries``
+    failed attempts the cell is quarantined: a typed error row is
+    returned (and written to the manifest) instead of aborting the
+    grid.  The ``cell.raise`` / ``cell.delay`` seams of
+    :mod:`repro.faults` fire here, keyed by ``cell_id``, so chaos tests
+    can fail exactly one chosen cell.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _cell_deadline(cell_timeout):
+                plan = _faults.active_fault_plan()
+                if plan is not None:
+                    rule = plan.fire("cell.delay", key=cell.cell_id)
+                    if rule is not None and rule.delay_s:
+                        time.sleep(rule.delay_s)
+                    plan.maybe_raise("cell.raise", key=cell.cell_id)
+                if warm:
+                    row = _run_warm_cell(spec, cell, config, groups, memo)
+                else:
+                    row = run_cell(spec, cell, config, dataset_memo=memo)
+        except Exception as exc:
+            if warm:
+                # The group's session state is unknown after a failure
+                # (a timeout can interrupt a solve anywhere): tear it
+                # down now; the next attempt — or the group's next cell
+                # — reopens a fresh session lazily.
+                groups.close_group(session_group_key(cell))
+            if attempts > max_retries:
+                return _error_row(spec, cell, exc, attempts)
+            if retry_backoff:
+                sleep(retry_backoff * (2 ** (attempts - 1)))
+            continue
+        if attempts > 1:
+            row["attempts"] = attempts
+        return row
+
+
 def default_manifest_path(spec: GridSpec) -> str:
     """Where :func:`run_grid` writes the manifest when not told otherwise."""
     return os.path.join(results_dir(), f"grid_{spec.name}.jsonl")
@@ -565,8 +738,12 @@ def _manifest_header(spec: GridSpec, config: ExperimentConfig, mode: str) -> dic
 def load_manifest(path: str) -> tuple[dict | None, list[dict]]:
     """Read a JSONL manifest into ``(header, cell_rows)``.
 
-    Truncated trailing lines (a run killed mid-write) are dropped rather
-    than failing, so interrupted manifests stay resumable.
+    *cell_rows* holds both completed ``"cell"`` rows and quarantined
+    ``"cell_error"`` rows (distinguish on ``row["kind"]``); a cell that
+    was quarantined and later succeeded on resume appears once per
+    attempt's final outcome, latest last.  Truncated trailing lines (a
+    run killed mid-write) are dropped rather than failing, so
+    interrupted manifests stay resumable.
     """
     header: dict | None = None
     rows: list[dict] = []
@@ -581,7 +758,7 @@ def load_manifest(path: str) -> tuple[dict | None, list[dict]]:
                 continue
             if record.get("kind") == "header" and header is None:
                 header = record
-            elif record.get("kind") == "cell":
+            elif record.get("kind") in ("cell", "cell_error"):
                 rows.append(record)
     return header, rows
 
@@ -594,6 +771,10 @@ def run_grid(
     config_overrides: dict | None = None,
     progress=None,
     execution: str | None = None,
+    cell_timeout: float | None = None,
+    max_retries: int | None = None,
+    retry_backoff: float | None = None,
+    sleep=time.sleep,
 ) -> list[dict]:
     """Run every cell of *spec*, resuming from *manifest_path* if present.
 
@@ -603,6 +784,20 @@ def run_grid(
     interrupted run resumes where it stopped).  *progress*, when given,
     is called with ``(done, total, row)`` after each cell, in
     *execution* order.
+
+    **Fault tolerance (docs/ARCHITECTURE.md §11).**  Each cell runs
+    under *cell_timeout* seconds of wall clock (``None`` = unbounded)
+    and up to *max_retries* retries with exponential backoff (base
+    *retry_backoff* seconds, doubling per attempt); the three knobs
+    default to the spec's ``execution`` block (``cell_timeout_s`` /
+    ``max_retries`` / ``retry_backoff_s``).  A cell that still fails is
+    *quarantined*: a typed ``"cell_error"`` row — attempt count,
+    exception class, truncated message, plus the full cell axes — is
+    appended to the manifest and returned in the cell's slot, and the
+    grid keeps going.  Resume treats only ``"cell"`` rows as done, so
+    re-running the same manifest re-attempts every quarantined cell;
+    their error rows stay in the file as history (readers take the
+    latest row per ``cell_id``).  *sleep* is injectable for tests.
 
     *execution* overrides the spec's ``execution`` block (CLI
     ``--execution``).  In ``warm_per_dataset`` mode cells are executed
@@ -625,9 +820,16 @@ def run_grid(
         raise SpecError(
             f"unknown execution mode {mode!r}; options: {EXECUTION_MODES}"
         )
+    if cell_timeout is None:
+        cell_timeout = spec.cell_timeout_s
+    if max_retries is None:
+        max_retries = spec.max_retries
+    if retry_backoff is None:
+        retry_backoff = spec.retry_backoff_s
     config = spec.experiment_config(**(config_overrides or {}))
     header = _manifest_header(spec, config, mode)
     completed: dict[str, dict] = {}
+    quarantined: dict[str, dict] = {}
     resuming = (
         resume
         and os.path.exists(manifest_path)
@@ -665,7 +867,15 @@ def run_grid(
                 f"manifest {manifest_path!r} was run with a different "
                 "estimator config; resuming would mix incomparable cells"
             )
-        completed = {row["cell_id"]: row for row in rows}
+        # Only successful rows count as done; a cell whose latest row
+        # is a quarantine error is re-attempted by this run.
+        latest = {row["cell_id"]: row for row in rows}
+        completed = {
+            cid: row for cid, row in latest.items() if row.get("kind") == "cell"
+        }
+        quarantined = {
+            cid: row for cid, row in latest.items() if cid not in completed
+        }
     else:
         directory = os.path.dirname(manifest_path)
         if directory:
@@ -685,7 +895,7 @@ def run_grid(
             first_seen.setdefault(key, index)
         order.sort(key=lambda index: (first_seen[keys[index]], index))
     memo: dict[str, Dataset] = {}
-    rows_by_id: dict[str, dict] = dict(completed)
+    rows_by_id: dict[str, dict] = {**quarantined, **completed}
     with open(manifest_path, "a", encoding="utf-8") as fh, WarmSessionGroups(
         config, memo
     ) as groups:
@@ -693,10 +903,18 @@ def run_grid(
             cell = cells[index]
             row = completed.get(cell.cell_id)
             if row is None:
-                if warm:
-                    row = _run_warm_cell(spec, cell, config, groups, memo)
-                else:
-                    row = run_cell(spec, cell, config, dataset_memo=memo)
+                row = _run_cell_with_retries(
+                    spec,
+                    cell,
+                    config,
+                    warm=warm,
+                    groups=groups,
+                    memo=memo,
+                    cell_timeout=cell_timeout,
+                    max_retries=max_retries,
+                    retry_backoff=retry_backoff,
+                    sleep=sleep,
+                )
                 fh.write(json.dumps(row, sort_keys=True) + "\n")
                 fh.flush()
                 rows_by_id[cell.cell_id] = row

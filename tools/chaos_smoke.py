@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Fault-injection smoke run for CI (next to the chaos test suite).
+
+Runs the committed ``specs/smoke.json`` grid end to end with exactly one
+injected cell failure, then resumes, asserting the full quarantine
+lifecycle on the real spec (docs/ARCHITECTURE.md §11):
+
+1. with a :class:`repro.faults.FaultPlan` targeting one cell and
+   ``max_retries=0``, the grid *completes* — the targeted cell lands in
+   the manifest as a quarantined ``"cell_error"`` row while every other
+   cell succeeds;
+2. re-running the same manifest with no plan installed re-attempts
+   exactly the quarantined cell and finishes the grid;
+3. the finished rows are identical (modulo runtime) to a clean run that
+   never saw a fault — quarantine and resume must not perturb results.
+
+Usage: ``python tools/chaos_smoke.py [repo_root]`` — the script puts
+``<root>/src`` on ``sys.path`` itself and works in a temp results dir,
+so no environment setup is needed.  Exit code is non-zero on any
+violated invariant.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments.grid import GridSpec, load_manifest, run_grid  # noqa: E402
+from repro.faults import FaultPlan, FaultRule, fault_plan  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"chaos smoke FAILED: {message}")
+    sys.exit(1)
+
+
+def strip(row: dict) -> dict:
+    return {k: v for k, v in row.items() if k != "runtime_s"}
+
+
+def main() -> None:
+    spec = GridSpec.from_json(str(ROOT / "specs" / "smoke.json"))
+    cells = spec.cells()
+    target = cells[0].cell_id
+    with tempfile.TemporaryDirectory(prefix="chaos_smoke_") as tmp:
+        manifest = str(Path(tmp) / "smoke.jsonl")
+
+        plan = FaultPlan(
+            [FaultRule(seam="cell.raise", key=target, count=10, message="chaos smoke")]
+        )
+        with fault_plan(plan):
+            rows = run_grid(spec, manifest, max_retries=0, retry_backoff=0.0)
+        errors = [row for row in rows if row.get("kind") == "cell_error"]
+        if len(rows) != len(cells):
+            fail(f"faulted run returned {len(rows)} rows for {len(cells)} cells")
+        if [row["cell_id"] for row in errors] != [target]:
+            fail(f"expected exactly cell {target} quarantined, got {errors!r}")
+        if errors[0].get("error_type") != "FaultInjectedError":
+            fail(f"unexpected quarantine error type: {errors[0]!r}")
+        print(f"1/3 injected failure quarantined cell {target}, "
+              f"{len(rows) - 1}/{len(cells)} cells completed")
+
+        resumed = run_grid(spec, manifest)
+        if any(row.get("kind") != "cell" for row in resumed):
+            fail("resume left unfinished cells behind")
+        _, manifest_rows = load_manifest(manifest)
+        kinds = [row["kind"] for row in manifest_rows]
+        if kinds.count("cell_error") != 1 or kinds.count("cell") != len(cells):
+            fail(f"unexpected manifest history after resume: {kinds}")
+        print("2/3 resume re-attempted the quarantined cell and completed the grid")
+
+        clean = run_grid(spec, str(Path(tmp) / "clean.jsonl"))
+        if [strip(r) for r in resumed] != [strip(r) for r in clean]:
+            fail("resumed results differ from a never-faulted run")
+        print("3/3 resumed results identical to a clean run")
+    print("chaos smoke ok")
+
+
+if __name__ == "__main__":
+    main()
