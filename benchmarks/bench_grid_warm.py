@@ -36,6 +36,11 @@ import numpy as np
 
 from repro.experiments.grid import GridSpec, clear_grid_caches, run_grid
 
+try:  # package import (pytest from the repo root)
+    from benchmarks.trajectory import append_entry
+except ImportError:  # standalone: python benchmarks/<script>.py
+    from trajectory import append_entry
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_grid.json"
 
@@ -118,7 +123,7 @@ def run_benchmark() -> dict:
 
 def main() -> None:
     report = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    append_entry(RESULT_PATH, report)  # append-only: history is kept
     print(json.dumps(report, indent=2))
     print(f"# written to {RESULT_PATH}")
 

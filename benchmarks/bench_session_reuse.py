@@ -36,6 +36,11 @@ from repro.core.ads import Advertiser
 from repro.core.instance import RMInstance
 from repro.experiments.datasets import build_dataset
 
+try:  # package import (pytest from the repo root)
+    from benchmarks.trajectory import append_entry
+except ImportError:  # standalone: python benchmarks/<script>.py
+    from trajectory import append_entry
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_session.json"
 
@@ -144,7 +149,7 @@ def run_benchmark() -> dict:
 
 def main() -> None:
     report = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    append_entry(RESULT_PATH, report)  # append-only: history is kept
     print(json.dumps(report, indent=2))
     print(f"# written to {RESULT_PATH}")
 

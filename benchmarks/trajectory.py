@@ -1,0 +1,85 @@
+"""Append-only trajectory persistence for the ``BENCH_*.json`` reports.
+
+The root-level benchmark reports (``BENCH_hotpaths.json``,
+``BENCH_parallel.json``, ...) are the repo's perf *trajectory*: every
+PR that re-measures appends an entry, and history is never silently
+dropped.  Before this helper the benchmark scripts wrote a single
+report dict with ``Path.write_text`` — one re-run overwrote the
+previous measurement.  All writers now go through :func:`append_entry`:
+
+* a legacy single-report file is wrapped into
+  ``{"trajectory": [legacy]}`` on first append (nothing is lost);
+* every append re-reads the file and refuses to write unless the new
+  trajectory is strictly the old one plus the new entry — shrinking or
+  rewriting history raises :class:`TrajectoryError`;
+* entries are stamped with ``recorded_utc`` so curves stay ordered and
+  attributable even when git history is rewritten.
+
+Read side: :func:`load_trajectory` returns the entry list for either
+layout (legacy single dict or wrapped), so downstream tooling does not
+care when a file was last migrated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+class TrajectoryError(RuntimeError):
+    """An append would have dropped or rewritten recorded history."""
+
+
+def _read(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    text = path.read_text()
+    if not text.strip():
+        return None
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise TrajectoryError(
+            f"{path}: expected a JSON object, found {type(data).__name__}"
+        )
+    return data
+
+
+def load_trajectory(path: str | Path) -> list[dict]:
+    """All recorded entries of *path*, oldest first (legacy files: one)."""
+    data = _read(Path(path))
+    if data is None:
+        return []
+    if "trajectory" in data:
+        entries = data["trajectory"]
+        if not isinstance(entries, list):
+            raise TrajectoryError(f"{path}: 'trajectory' must be a list")
+        return entries
+    return [data]  # legacy single-report layout
+
+def append_entry(path: str | Path, entry: dict) -> list[dict]:
+    """Append *entry* to the trajectory file at *path*; returns the list.
+
+    Never drops history: the existing file (legacy or wrapped) is read,
+    the entry is appended, and the result is verified to be exactly
+    ``old + [entry]`` before the file is replaced.  The entry is
+    stamped with ``recorded_utc`` (ISO 8601) unless it already carries
+    one.
+    """
+    path = Path(path)
+    if not isinstance(entry, dict):
+        raise TrajectoryError(
+            f"trajectory entries must be dicts, got {type(entry).__name__}"
+        )
+    old = load_trajectory(path)
+    entry = dict(entry)
+    entry.setdefault(
+        "recorded_utc", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    new = old + [entry]
+    if len(new) != len(old) + 1 or new[: len(old)] != old:
+        raise TrajectoryError(  # pragma: no cover - structural invariant
+            f"{path}: append would rewrite recorded history"
+        )
+    path.write_text(json.dumps({"trajectory": new}, indent=2) + "\n")
+    return new

@@ -78,6 +78,9 @@ from repro.rrset import (
     RRCollection,
     sample_size,
     KPTEstimator,
+    KERNELS,
+    NUMBA_AVAILABLE,
+    resolve_kernel,
     SamplerBackend,
     SerialBackend,
     ParallelBackend,
@@ -166,6 +169,9 @@ __all__ = [
     "RRCollection",
     "sample_size",
     "KPTEstimator",
+    "KERNELS",
+    "NUMBA_AVAILABLE",
+    "resolve_kernel",
     "SamplerBackend",
     "SerialBackend",
     "ParallelBackend",

@@ -152,13 +152,20 @@ class AllocationSession:
         return self._warm
 
     def _pin_spec(self, spec: EngineSpec) -> EngineSpec:
+        # Live backends (sampler_backend/workers/kernel) and live stores
+        # (rr_bytes_budget) persist inside the warm state, so a per-solve
+        # spec cannot flip them mid-session.
         if (
             spec.sampler_backend != self.spec.sampler_backend
             or spec.workers != self.spec.workers
+            or spec.kernel != self.spec.kernel
+            or spec.rr_bytes_budget != self.spec.rr_bytes_budget
         ):
             spec = spec.override(
                 sampler_backend=self.spec.sampler_backend,
                 workers=self.spec.workers,
+                kernel=self.spec.kernel,
+                rr_bytes_budget=self.spec.rr_bytes_budget,
             )
         return spec
 
@@ -191,12 +198,24 @@ class AllocationSession:
         currently in that degraded mode.
         """
         stores = list(self._warm.stores.values())
+        stored_sets = sum(g.store.size for g in stores)
+        store_bytes = sum(
+            g.store.member_bytes + int(g.store.indptr.nbytes) for g in stores
+        )
         return {
             **self._stats,
             **self._warm.counters,
             "stores": len(stores),
-            "stored_sets": sum(g.store.size for g in stores),
+            "stored_sets": stored_sets,
             "stored_members": sum(g.store.member_total for g in stores),
+            # Measured memory accounting (docs/ARCHITECTURE.md §2):
+            # narrowed/spilled member storage across all warm stores.
+            "store_bytes": store_bytes,
+            "peak_store_bytes": sum(g.store.peak_bytes for g in stores),
+            "bytes_per_rr_set": (
+                store_bytes / stored_sets if stored_sets else 0.0
+            ),
+            "spilled_stores": sum(1 for g in stores if g.store.spilled),
             "pagerank_orders": len(self._warm.pagerank_orders),
             "pool_active": self._warm.pool is not None
             and not self._warm.pool.failed,
@@ -213,6 +232,8 @@ class AllocationSession:
         self._closed = True
         for group in self._warm.stores.values():
             group.sampler.close()
+            if group.store is not None:
+                group.store.close()  # drops memmap spill files, if any
         if self._warm.pool is not None:
             self._warm.pool.close()
             self._warm.pool = None

@@ -24,13 +24,14 @@ and selector come from the :mod:`~repro.api.registry`) and per-call
 data such as ``blocked`` masks, which describe the query, not the
 engine configuration.
 
-Two fields are special inside an
+Four fields are special inside an
 :class:`~repro.api.session.AllocationSession` (and therefore inside
 the grid runner's ``warm_per_dataset`` execution mode, which drives
-every cell of a dataset through one session): ``sampler_backend`` and
-``workers`` are pinned by the session's base spec — live sampler
-backends persist inside the warm RR stores, so per-solve specs cannot
-flip them mid-session.
+every cell of a dataset through one session): ``sampler_backend``,
+``workers``, ``kernel`` and ``rr_bytes_budget`` are pinned by the
+session's base spec — live sampler backends and RR stores persist
+inside the warm state, so per-solve specs cannot flip them
+mid-session.
 """
 
 from __future__ import annotations
@@ -44,6 +45,7 @@ import numpy as np
 
 from repro.errors import SpecError
 from repro.rrset.backend import BACKENDS
+from repro.rrset.kernels import KERNELS
 from repro.rrset.tim import DEFAULT_THETA_CAP
 
 #: Fields whose values already serialize to JSON scalars unchanged.
@@ -57,6 +59,8 @@ _SCALAR_FIELDS = (
     "lazy_candidates",
     "sampler_backend",
     "workers",
+    "kernel",
+    "rr_bytes_budget",
     "seed",
 )
 
@@ -83,6 +87,8 @@ class EngineSpec:
     lazy_candidates: bool = True
     sampler_backend: str = "serial"
     workers: int | None = None
+    kernel: str = "auto"
+    rr_bytes_budget: int | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -99,6 +105,11 @@ class EngineSpec:
                 f"options: {BACKENDS}"
             )
         self._set_int("workers", minimum=0, optional=True)
+        if self.kernel not in KERNELS:
+            raise SpecError(
+                f"unknown kernel {self.kernel!r}; options: {KERNELS}"
+            )
+        self._set_int("rr_bytes_budget", minimum=1, optional=True)
         # numpy's default_rng rejects negative seeds; fail here, not mid-solve.
         self._set_int("seed", minimum=0, optional=True)
         object.__setattr__(self, "opt_lower", self._normalize_opt_lower(self.opt_lower))
@@ -213,5 +224,7 @@ class EngineSpec:
             lazy_candidates=self.lazy_candidates,
             sampler_backend=self.sampler_backend,
             workers=self.workers,
+            kernel=self.kernel,
+            rr_bytes_budget=self.rr_bytes_budget,
             seed=self.seed,
         )

@@ -85,6 +85,8 @@ def _config(args) -> ExperimentConfig:
         workers=workers,
         share_samples=getattr(args, "share_samples", False),
         lazy_candidates=not getattr(args, "eager", False),
+        kernel=getattr(args, "kernel", None) or "auto",
+        rr_bytes_budget=getattr(args, "rr_bytes_budget", 0) or 0,
     )
 
 
@@ -199,6 +201,10 @@ def cmd_grid(args) -> int:
         overrides["share_samples"] = True
     if getattr(args, "eager", False):
         overrides["lazy_candidates"] = False
+    if getattr(args, "kernel", None):
+        overrides["kernel"] = args.kernel
+    if getattr(args, "rr_bytes_budget", 0):
+        overrides["rr_bytes_budget"] = args.rr_bytes_budget
     mode = args.execution or spec.execution_mode
     total = len(spec.cells())
     print(
@@ -350,6 +356,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable CELF-style lazy candidate caching (full rescans)",
     )
+    common.add_argument(
+        "--kernel",
+        choices=("numpy", "numba", "auto"),
+        default="auto",
+        help="reverse-BFS batch kernel: 'numpy' (always available, parity "
+        "reference), 'numba' (JIT-compiled), or 'auto' (numba when "
+        "importable); bit-identical either way",
+    )
+    common.add_argument(
+        "--rr-bytes-budget",
+        type=int,
+        default=0,
+        dest="rr_bytes_budget",
+        help="RAM budget in bytes per shared RR store; past it members "
+        "spill to a temp-file memmap (0 = unbounded)",
+    )
 
     p = sub.add_parser("datasets", parents=[common], help="list analog datasets")
     p.add_argument("--build", action="store_true", help="build and show stats")
@@ -454,6 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--eager",
         action="store_true",
         help="disable lazy candidate caching in every cell",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=("numpy", "numba", "auto"),
+        default=None,
+        help="batch-kernel override for every cell (bit-identical; "
+        "default: the spec's config, else 'auto')",
+    )
+    p.add_argument(
+        "--rr-bytes-budget",
+        type=int,
+        default=0,
+        dest="rr_bytes_budget",
+        help="per-store RAM budget in bytes for every cell; past it RR "
+        "members spill to a temp-file memmap (0 = spec default)",
     )
     p.set_defaults(func=cmd_grid)
 

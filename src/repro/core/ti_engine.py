@@ -104,6 +104,7 @@ from repro.rrset.backend import (
     resolve_backend,
 )
 from repro.rrset.collection import RRCollection, SharedRRCollection, SharedRRStore
+from repro.rrset.kernels import resolve_kernel
 from repro.rrset.tim import DEFAULT_THETA_CAP, KPTEstimator, sample_size
 from repro.core.allocation import Allocation, AllocationResult
 from repro.core.instance import RMInstance
@@ -266,6 +267,8 @@ class TIEngine:
         lazy_candidates: bool = True,
         sampler_backend: str = "serial",
         workers: int | None = None,
+        kernel: str = "auto",
+        rr_bytes_budget: int | None = None,
         blocked=None,
         seed=None,
         algorithm_name: str | None = None,
@@ -274,8 +277,13 @@ class TIEngine:
         validate_rules(candidate_rule, selector)
         try:
             sampler_backend, workers = resolve_backend(sampler_backend, workers)
+            kernel = resolve_kernel(kernel)
         except EstimationError as exc:
             raise AllocationError(str(exc)) from None
+        if rr_bytes_budget is not None and rr_bytes_budget < 1:
+            raise AllocationError(
+                f"rr_bytes_budget must be >= 1, got {rr_bytes_budget}"
+            )
         if eps <= 0:
             raise AllocationError(f"eps must be positive, got {eps}")
         if window is not None and window < 1:
@@ -307,6 +315,13 @@ class TIEngine:
         # SharedGraphPool shared by every ad of this run.
         self.sampler_backend = sampler_backend
         self.workers = workers
+        # Batch-kernel seam (resolved: "numpy" or "numba") and per-store
+        # RAM budget (None = unbounded); both flow into every backend /
+        # SharedRRStore this run creates.
+        self.kernel = kernel
+        self.rr_bytes_budget = (
+            None if rr_bytes_budget is None else int(rr_bytes_budget)
+        )
         self._pool: SharedGraphPool | None = None
         self._pool_failed = False
         # Recovery/degradation provenance: shared with the session's
@@ -366,6 +381,7 @@ class TIEngine:
                 pool=pool,
                 counters=self._fault_counters,
                 degraded=degraded,
+                kernel=self.kernel,
             )
         else:
             sampler = make_backend(
@@ -373,6 +389,7 @@ class TIEngine:
                 inst.ad_probs[ad],
                 self.sampler_backend,
                 workers=self.workers,
+                kernel=self.kernel,
             )
         if self._warm is not None and self._warm.wrap_sampler is not None:
             sampler = self._warm.wrap_sampler(sampler)
@@ -396,7 +413,10 @@ class TIEngine:
         if pool is None and not failed:
             try:
                 pool = SharedGraphPool(
-                    self.instance.graph, self.workers, counters=self._fault_counters
+                    self.instance.graph,
+                    self.workers,
+                    counters=self._fault_counters,
+                    kernel=self.kernel,
                 )
             except WorkerCrashError:
                 failed = True
@@ -456,7 +476,7 @@ class TIEngine:
                     )
                     group = _WarmGroup(
                         sampler,
-                        SharedRRStore(n),
+                        SharedRRStore(n, bytes_budget=self.rr_bytes_budget),
                         state.rng,
                         kpt,
                         kpt_params if kpt is not None else None,
@@ -717,11 +737,35 @@ class TIEngine:
         ]
         seed_cost = [self._states[ad].seed_cost for ad in range(h)]
         if self.share_samples:
-            shared_stores = {id(s.store): s.store for s in self._states if s.store}
-            memory = sum(store.memory_bytes() for store in shared_stores.values())
+            stores = list(
+                {id(s.store): s.store for s in self._states if s.store}.values()
+            )
+            memory = sum(store.memory_bytes() for store in stores)
             memory += sum(s.collection.memory_bytes() for s in self._states)
+            store_bytes = sum(
+                st.member_bytes + int(st.indptr.nbytes) for st in stores
+            )
+            peak_store_bytes = sum(st.peak_bytes for st in stores)
+            total_sets = sum(st.size for st in stores)
+            spilled_stores = sum(1 for st in stores if st.spilled)
         else:
-            memory = sum(self._states[ad].collection.memory_bytes() for ad in range(h))
+            cols = [self._states[ad].collection for ad in range(h)]
+            memory = sum(c.memory_bytes() for c in cols)
+            store_bytes = sum(
+                int(c.members.nbytes) + int(c.indptr.nbytes) for c in cols
+            )
+            peak_store_bytes = store_bytes
+            total_sets = sum(c.theta for c in cols)
+            spilled_stores = 0
+        memory_block = {
+            "store_bytes": store_bytes,
+            "peak_store_bytes": peak_store_bytes,
+            "bytes_per_rr_set": (
+                store_bytes / total_sets if total_sets else 0.0
+            ),
+            "spilled_stores": spilled_stores,
+            "rr_bytes_budget": self.rr_bytes_budget,
+        }
         return AllocationResult(
             allocation=allocation,
             revenue_per_ad=revenue,
@@ -743,6 +787,11 @@ class TIEngine:
                 "selector": getattr(self.selector, "__name__", self.selector),
                 "sampler_backend": self.sampler_backend,
                 "workers": self.workers,
+                "kernel": self.kernel,
+                # Measured storage accounting (docs/ARCHITECTURE.md §2):
+                # narrowed-dtype member bytes, spill state and the
+                # per-set cost the manifest rows surface.
+                "memory": memory_block,
                 # Recovery/degradation this run actually saw (deltas, so
                 # warm sessions don't bleed earlier solves' events in).
                 "fault_counters": {

@@ -558,6 +558,9 @@ def run_cell(
         # Full provenance: the resolved EngineSpec the cell actually ran
         # with (theta_cap, opt_lower, seed policy, backend, ...).
         engine_spec=result.extras.get("engine_spec"),
+        # Measured storage accounting (store_bytes / peak_store_bytes /
+        # bytes_per_rr_set / spilled_stores / rr_bytes_budget).
+        memory=result.extras.get("memory"),
     )
     return row
 
@@ -598,6 +601,11 @@ def _run_warm_cell(
         "store_hits": after["store_hits"] - before["store_hits"],
         "store_misses": after["store_misses"] - before["store_misses"],
         "stored_sets": after["stored_sets"],
+        # Memory accounting of the warm stores after this cell.
+        "store_bytes": after["store_bytes"],
+        "peak_store_bytes": after["peak_store_bytes"],
+        "bytes_per_rr_set": after["bytes_per_rr_set"],
+        "spilled_stores": after["spilled_stores"],
     }
     return row
 

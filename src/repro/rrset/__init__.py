@@ -1,6 +1,12 @@
 """Reverse-reachable set machinery (Borgs et al.; Tang et al. TIM)."""
 
 from repro.rrset.sampler import RRSampler, sample_batch_flat_kernel
+from repro.rrset.kernels import (
+    KERNELS,
+    NUMBA_AVAILABLE,
+    resolve_kernel,
+    sample_batch_flat_kernel_numba,
+)
 from repro.rrset.backend import (
     BACKENDS,
     ParallelBackend,
@@ -16,6 +22,7 @@ from repro.rrset.collection import (
     SharedRRStore,
     estimate_spread_flat,
     estimate_spread_from_sets,
+    member_dtype_for,
 )
 from repro.rrset.tim import (
     log_binomial,
@@ -26,6 +33,10 @@ from repro.rrset.tim import (
 __all__ = [
     "RRSampler",
     "sample_batch_flat_kernel",
+    "sample_batch_flat_kernel_numba",
+    "KERNELS",
+    "NUMBA_AVAILABLE",
+    "resolve_kernel",
     "BACKENDS",
     "SamplerBackend",
     "SerialBackend",
@@ -38,6 +49,7 @@ __all__ = [
     "SharedRRStore",
     "estimate_spread_flat",
     "estimate_spread_from_sets",
+    "member_dtype_for",
     "log_binomial",
     "sample_size",
     "KPTEstimator",

@@ -92,6 +92,7 @@ from repro import faults as _faults
 from repro._rng import as_generator
 from repro.errors import EstimationError, PoolDegradedError, WorkerCrashError
 from repro.graph.digraph import DiGraph
+from repro.rrset.kernels import resolve_batch_kernel, resolve_kernel
 from repro.rrset.sampler import (
     DEFAULT_CHUNK_BYTES,
     RRSampler,
@@ -221,10 +222,13 @@ class SerialBackend(SamplerBackend):
     Bit-identical to the bare sampler for every method and RNG stream
     (the width computation is the shared :func:`batch_widths` on both
     sides); exists so code written against the seam pays nothing for it.
+    The ``kernel`` seam (:mod:`repro.rrset.kernels`) passes straight
+    through to the sampler; both kernels are bit-identical per seed.
     """
 
-    def __init__(self, graph: DiGraph, probs) -> None:
-        self._sampler = RRSampler(graph, probs)
+    def __init__(self, graph: DiGraph, probs, *, kernel: str = "auto") -> None:
+        self._sampler = RRSampler(graph, probs, kernel=kernel)
+        self.kernel = self._sampler.kernel
         self.graph = graph
         self.probs = np.asarray(probs, dtype=np.float64)
 
@@ -265,6 +269,7 @@ def _worker_main(
     result_queue,
     topo: tuple[str, str, int, int],
     chunk_bytes: int,
+    kernel: str = "numpy",
 ) -> None:  # pragma: no cover - runs in child processes
     """Worker loop: attach shared CSR views, sample shards until told to stop.
 
@@ -274,8 +279,13 @@ def _worker_main(
     ``None`` in production; chaos tests inject ``("kill",)`` (the worker
     exits mid-batch without answering) or ``("delay", seconds)`` (the
     worker sleeps before sampling, simulating a hang).
+
+    *kernel* arrives pre-resolved (``"numpy"``/``"numba"``) from the
+    pool; the implementation function is looked up once here, so a numba
+    worker JIT-compiles at most once per process, on its first shard.
     """
     indptr_name, tails_name, n, m = topo
+    kernel_fn = resolve_batch_kernel(kernel)
     segments = []
     try:
         indptr_shm = _attach_shm(indptr_name)
@@ -301,7 +311,7 @@ def _worker_main(
                     probs_cache[prob_name] = np.ndarray(
                         (m,), dtype=np.float64, buffer=shm.buf
                     )
-                members, indptr = sample_batch_flat_kernel(
+                members, indptr = kernel_fn(
                     n,
                     in_indptr,
                     in_tails,
@@ -446,6 +456,12 @@ class SharedGraphPool:
         Optional :class:`repro.faults.FaultPlan` consulted at the
         ``worker.kill`` / ``shard.delay`` / ``shm.attach`` seams; when
         ``None`` the globally installed plan (usually none) applies.
+    kernel:
+        Batch-kernel seam (:mod:`repro.rrset.kernels`), resolved once
+        here and handed to every worker at spawn, so a numba pool
+        compiles once per worker process.  Kernels are bit-identical,
+        so recovery (respawn/re-dispatch) never changes output either
+        way.
     """
 
     def __init__(
@@ -460,6 +476,7 @@ class SharedGraphPool:
         poll_s: float = 0.25,
         counters: dict | None = None,
         faults=None,
+        kernel: str = "auto",
     ) -> None:
         if workers < 1:
             raise EstimationError(f"workers must be >= 1, got {workers}")
@@ -467,6 +484,7 @@ class SharedGraphPool:
             raise EstimationError("cannot sample RR sets from an empty graph")
         self.graph = graph
         self.workers = int(workers)
+        self.kernel = resolve_kernel(kernel)
         self.chunk_bytes = int(chunk_bytes)
         self.heartbeat_s = float(heartbeat_s)
         self.max_respawns = (
@@ -509,7 +527,13 @@ class SharedGraphPool:
     def _spawn_worker(self) -> None:
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(self._task_queue, self._result_queue, self._topo, self.chunk_bytes),
+            args=(
+                self._task_queue,
+                self._result_queue,
+                self._topo,
+                self.chunk_bytes,
+                self.kernel,
+            ),
             daemon=True,
         )
         proc.start()
@@ -800,11 +824,13 @@ class ParallelBackend(SamplerBackend):
         counters: dict | None = None,
         degraded: bool = False,
         faults=None,
+        kernel: str = "auto",
     ) -> None:
         if graph.n == 0:
             raise EstimationError("cannot sample RR sets from an empty graph")
         self.graph = graph
         self.probs = validate_edge_probs(graph, probs)
+        self.kernel = resolve_kernel(kernel)
         self._probs_in: np.ndarray | None = None  # lazy in-CSR permutation
         self._degraded = bool(degraded)
         self._closed = False
@@ -813,6 +839,11 @@ class ParallelBackend(SamplerBackend):
         if pool is not None:
             if pool.graph is not graph:
                 raise EstimationError("pool was built over a different graph")
+            if pool.kernel != self.kernel:
+                raise EstimationError(
+                    f"pool runs kernel {pool.kernel!r}, backend wants "
+                    f"{self.kernel!r}; share pools only across one kernel"
+                )
             self.workers = pool.workers
             self._pool = pool
             self._owns_pool = False
@@ -837,6 +868,7 @@ class ParallelBackend(SamplerBackend):
                         self.workers,
                         counters=self.fault_counters,
                         faults=faults,
+                        kernel=self.kernel,
                     )
                     self._owns_pool = True
                 except WorkerCrashError:
@@ -855,7 +887,7 @@ class ParallelBackend(SamplerBackend):
             # delegate, bit-identically to SerialBackend.  (A *degraded*
             # backend instead keeps the shard-plan streams, staying
             # bit-identical to the pooled output it replaces.)
-            self._serial = RRSampler(graph, self.probs)
+            self._serial = RRSampler(graph, self.probs, kernel=self.kernel)
 
     @property
     def degraded(self) -> bool:
@@ -880,16 +912,17 @@ class ParallelBackend(SamplerBackend):
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Run the shard plan in-process — the degraded-mode executor.
 
-        Exactly what the workers would have computed: the serial kernel
-        over the in-CSR arrays with each shard's own generator.
+        Exactly what the workers would have computed: the configured
+        kernel over the in-CSR arrays with each shard's own generator.
         """
         if self._probs_in is None:
             self._probs_in = np.ascontiguousarray(
                 self.probs[self.graph.in_edge_ids]
             )
+        kernel_fn = resolve_batch_kernel(self.kernel)
         g = self.graph
         return [
-            sample_batch_flat_kernel(
+            kernel_fn(
                 g.n,
                 g.in_indptr,
                 g.in_tails,
@@ -964,6 +997,7 @@ def make_backend(
     counters: dict | None = None,
     degraded: bool = False,
     faults=None,
+    kernel: str = "auto",
 ) -> SamplerBackend:
     """Build a :class:`SamplerBackend` from a spec string.
 
@@ -973,11 +1007,13 @@ def make_backend(
     parallel (this is what lets a single ``--workers`` CLI flag select
     the backend), and a parallel spec without a worker count uses
     :func:`default_workers`.  Passing an existing *pool* implies
-    parallel regardless of the spec.
+    parallel regardless of the spec.  *kernel* selects the batch-kernel
+    implementation (:mod:`repro.rrset.kernels`) on either backend;
+    kernels are bit-identical, so it never changes results.
     """
     backend, workers = resolve_backend(backend, workers)
     if backend == "serial" and pool is None:
-        return SerialBackend(graph, probs)
+        return SerialBackend(graph, probs, kernel=kernel)
     return ParallelBackend(
         graph,
         probs,
@@ -986,4 +1022,5 @@ def make_backend(
         counters=counters,
         degraded=degraded,
         faults=faults,
+        kernel=kernel,
     )

@@ -36,10 +36,37 @@ implementing the coverage refresh of ``UpdateEstimates`` (Algorithm 3).
 
 The collection also reports its memory footprint analytically, backing
 the Table 3 reproduction.
+
+Memory bounding (ISSUE 7)
+-------------------------
+Stores are *memory-bounded* for real-crawl scale:
+
+* ``members`` is kept in the smallest sufficient signed dtype for the
+  graph (:func:`member_dtype_for`) — ``int16`` under 32k nodes,
+  ``int32`` up to 2**31-1, ``int64`` beyond — cutting the dominant
+  array 4x on every dataset in the paper.  Incoming ``int64`` sampler
+  batches are range-validated first, then cast, so the narrowing is
+  lossless by construction.
+* ``indptr`` starts as ``int32`` and upcasts to ``int64`` the first
+  time total membership would exceed :data:`INDPTR_NARROW_MAX`
+  (module-level so tests can shrink it to force the upcast path).
+* :class:`SharedRRStore` optionally takes a ``bytes_budget``: once the
+  member array would exceed it, the store spills ``members`` to a
+  temp-file-backed ``np.memmap`` (appends grow the file and re-map),
+  keeping RAM usage bounded while every read path — CSR views,
+  inverted index, adoption — keeps working unchanged.  Spill files are
+  removed by :meth:`SharedRRStore.close` or a ``weakref.finalize``
+  safety net.
+* Measured accounting — ``member_bytes``, ``peak_bytes``,
+  :meth:`~SharedRRStore.bytes_per_rr_set` — feeds the engine's
+  ``memory`` extras block, session stats and grid manifest rows.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+import weakref
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -47,6 +74,43 @@ import numpy as np
 from repro.errors import EstimationError
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: Largest total-membership offset kept in an ``int32`` indptr; one
+#: entry past it upcasts the whole offset array to ``int64``.  Module
+#: level (not per-store) so tests can shrink it to exercise the upcast.
+INDPTR_NARROW_MAX = 2**31 - 1
+
+
+def member_dtype_for(n_nodes: int) -> np.dtype:
+    """Smallest *signed* dtype holding node ids of an *n_nodes* graph.
+
+    Signed, with the bound set at the dtype's own maximum, because
+    consumers index ``in_indptr[members + 1]``
+    (:func:`repro.rrset.sampler.batch_widths`): ids reach
+    ``n_nodes - 1``, so ``members + 1`` reaches ``n_nodes``, which must
+    still be representable without overflow.
+    """
+    if n_nodes <= 2**15 - 1:
+        return np.dtype(np.int16)
+    if n_nodes <= 2**31 - 1:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def _append_indptr(indptr: np.ndarray, tail: np.ndarray) -> np.ndarray:
+    """Append absolute offsets *tail* (int64) to *indptr*, upcasting past
+    :data:`INDPTR_NARROW_MAX`; returns the new offset array."""
+    if tail.size and int(tail[-1]) > INDPTR_NARROW_MAX and indptr.dtype != np.int64:
+        indptr = indptr.astype(np.int64)
+    return np.concatenate([indptr, tail.astype(indptr.dtype)])
+
+
+def _remove_spill_file(path: str) -> None:
+    """Best-effort unlink of a spill file (finalizer/close target)."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def _flatten_sets(
@@ -119,8 +183,9 @@ class RRCollection:
         if n_nodes <= 0:
             raise EstimationError(f"n_nodes must be positive, got {n_nodes}")
         self.n_nodes = int(n_nodes)
-        self.members = _EMPTY_I64
-        self.indptr = np.zeros(1, dtype=np.int64)
+        self.member_dtype = member_dtype_for(self.n_nodes)
+        self.members = np.empty(0, dtype=self.member_dtype)
+        self.indptr = np.zeros(1, dtype=np.int32)
         self.covered = np.zeros(0, dtype=bool)
         self.covered_total = 0
         self.counts = np.zeros(n_nodes, dtype=np.int64)
@@ -170,8 +235,12 @@ class RRCollection:
         live_members = members[np.repeat(~covered_new, lens)]
         if live_members.size:
             self.counts += np.bincount(live_members, minlength=self.n_nodes)
-        self.members = np.concatenate([self.members, members])
-        self.indptr = np.concatenate([self.indptr, self.indptr[-1] + indptr[1:]])
+        # Range-validated above, so the narrowing cast is lossless; an
+        # explicit astype keeps concatenate from promoting back to int64.
+        self.members = np.concatenate(
+            [self.members, members.astype(self.member_dtype)]
+        )
+        self.indptr = _append_indptr(self.indptr, self.indptr[-1] + indptr[1:])
         self.covered = np.concatenate([self.covered, covered_new])
         self.covered_total += absorbed
         self._inv_indptr = self._inv_sets = None  # rebuilt lazily
@@ -299,12 +368,24 @@ class RRCollection:
     # Accounting
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
-        """Analytic footprint of the stored sets and indexes (Table 3)."""
-        set_bytes = self.members.size * 8
+        """Analytic footprint of the stored sets and indexes (Table 3).
+
+        Members are counted at their actual (narrowed) width; the
+        node → set-id inverted index is counted at one ``int64`` entry
+        per member whether or not it is currently materialized, keeping
+        the figure deterministic across lazy rebuilds.
+        """
+        set_bytes = int(self.members.nbytes)
         index_bytes = self.members.size * 8
         flags = self.theta
         counts_bytes = self.counts.nbytes
         return set_bytes + index_bytes + flags + counts_bytes
+
+    def bytes_per_rr_set(self) -> float:
+        """Measured storage bytes per sampled set (members + offsets)."""
+        if self.theta == 0:
+            return 0.0
+        return (int(self.members.nbytes) + int(self.indptr.nbytes)) / self.theta
 
 
 def _best_by_ratio(
@@ -339,27 +420,119 @@ class SharedRRStore:
     private residual state (covered flags + counts) in
     :class:`SharedRRCollection`.  Storage drops from ``O(h · θ · |R|)``
     to ``O(θ · |R| + h · (θ + n))``.
+
+    Memory bounding: ``members`` uses the narrowest sufficient dtype
+    (:func:`member_dtype_for`), and an optional *bytes_budget* caps its
+    RAM residency — past the budget the array spills to a temp-file
+    ``np.memmap`` (in *spill_dir*, default the system temp directory)
+    and appends grow the file in place.  Every read path returns the
+    same values either way; only :meth:`memory_bytes` (RAM) and
+    :attr:`spilled` change.  Call :meth:`close` (sessions do) to drop
+    the mapping and unlink the file; a ``weakref.finalize`` net removes
+    it at GC/interpreter exit otherwise.
     """
 
-    def __init__(self, n_nodes: int) -> None:
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        bytes_budget: int | None = None,
+        spill_dir: str | None = None,
+    ) -> None:
         if n_nodes <= 0:
             raise EstimationError(f"n_nodes must be positive, got {n_nodes}")
+        if bytes_budget is not None and bytes_budget < 0:
+            raise EstimationError(
+                f"bytes_budget must be non-negative, got {bytes_budget}"
+            )
         self.n_nodes = int(n_nodes)
-        self.members = _EMPTY_I64
-        self.indptr = np.zeros(1, dtype=np.int64)
+        self.member_dtype = member_dtype_for(self.n_nodes)
+        self.bytes_budget = int(bytes_budget) if bytes_budget else None
+        self.peak_bytes = 0
+        self.members = np.empty(0, dtype=self.member_dtype)
+        self.indptr = np.zeros(1, dtype=np.int32)
+        self._spill_dir = spill_dir
+        self._spill_path: str | None = None
+        self._spill_finalizer = None
+        self._closed = False
         self._inv_indptr: np.ndarray | None = None
         self._inv_sets: np.ndarray | None = None
 
+    @property
+    def spilled(self) -> bool:
+        """True once ``members`` lives in a memmap-backed spill file."""
+        return self._spill_path is not None
+
+    def _spill_map(self, size: int) -> np.memmap:
+        """(Re)size the spill file for *size* members and map it r+."""
+        if self._spill_path is None:
+            fd, path = tempfile.mkstemp(
+                prefix="repro_rrspill_", suffix=".bin", dir=self._spill_dir
+            )
+            os.close(fd)
+            self._spill_path = path
+            self._spill_finalizer = weakref.finalize(
+                self, _remove_spill_file, path
+            )
+        itemsize = self.member_dtype.itemsize
+        with open(self._spill_path, "r+b") as f:
+            f.truncate(max(size, 1) * itemsize)
+        return np.memmap(
+            self._spill_path, dtype=self.member_dtype, mode="r+", shape=(size,)
+        )
+
     def extend_flat(self, members: np.ndarray, indptr: np.ndarray) -> None:
-        """Append a flat CSR batch of sets (the sampler's output form)."""
+        """Append a flat CSR batch of sets (the sampler's output form).
+
+        Range-validates first, then narrows to :attr:`member_dtype`.
+        When a *bytes_budget* is configured and the grown member array
+        would exceed it (or the store has already spilled), the batch
+        lands in the memmap spill file instead of RAM.
+        """
+        if self._closed:
+            raise EstimationError("store is closed")
         members = np.ascontiguousarray(members, dtype=np.int64)
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         _validate_flat(members, indptr, self.n_nodes)
         if indptr.size == 1:
             return
-        self.members = np.concatenate([self.members, members])
-        self.indptr = np.concatenate([self.indptr, self.indptr[-1] + indptr[1:]])
+        batch = members.astype(self.member_dtype)
+        old_size = int(self.members.size)
+        new_size = old_size + int(batch.size)
+        over_budget = (
+            self.bytes_budget is not None
+            and new_size * self.member_dtype.itemsize > self.bytes_budget
+        )
+        if self.spilled or over_budget:
+            mapped = self._spill_map(new_size)
+            if old_size and not isinstance(self.members, np.memmap):
+                mapped[:old_size] = self.members  # first spill: move RAM out
+            if batch.size:
+                mapped[old_size:] = batch
+            mapped.flush()
+            self.members = mapped
+        else:
+            self.members = np.concatenate([self.members, batch])
+        self.indptr = _append_indptr(self.indptr, self.indptr[-1] + indptr[1:])
         self._inv_indptr = self._inv_sets = None
+        self.peak_bytes = max(self.peak_bytes, self.memory_bytes())
+
+    def close(self) -> None:
+        """Drop the memmap (if any) and unlink the spill file (idempotent).
+
+        The store must not be extended afterwards; in-RAM stores are
+        unaffected apart from refusing further growth.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._spill_path is not None:
+            self.members = np.empty(0, dtype=self.member_dtype)
+            self.indptr = np.zeros(1, dtype=np.int32)
+            self._inv_indptr = self._inv_sets = None
+            if self._spill_finalizer is not None:
+                self._spill_finalizer()  # unlinks; detaches the finalizer
+            self._spill_path = None
 
     def extend(self, new_sets: Iterable[np.ndarray]) -> None:
         """List-of-arrays convenience wrapper over :meth:`extend_flat`."""
@@ -390,9 +563,27 @@ class SharedRRStore:
         """Total stored member entries across all sets."""
         return int(self.members.size)
 
+    @property
+    def member_bytes(self) -> int:
+        """Bytes held by the member array (RAM or spill file)."""
+        return int(self.members.nbytes)
+
+    def bytes_per_rr_set(self) -> float:
+        """Measured storage bytes per stored set (members + offsets)."""
+        if self.size == 0:
+            return 0.0
+        return (self.member_bytes + int(self.indptr.nbytes)) / self.size
+
     def memory_bytes(self) -> int:
-        """Footprint of the shared sets + inverted index."""
-        return self.member_total * 8 * 2
+        """RAM footprint of the shared sets + inverted index.
+
+        Members count at their narrowed width — or zero once spilled to
+        disk — plus one ``int64`` inverted-index entry per member
+        (deterministic across lazy rebuilds, as in
+        :meth:`RRCollection.memory_bytes`).
+        """
+        set_bytes = 0 if self.spilled else self.member_bytes
+        return set_bytes + self.member_total * 8
 
 
 class SharedRRCollection:

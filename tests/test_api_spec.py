@@ -119,7 +119,8 @@ class TestEngineKwargs:
         assert set(kwargs) == {
             "eps", "ell", "window", "theta_cap", "opt_lower",
             "kpt_max_samples", "share_samples", "lazy_candidates",
-            "sampler_backend", "workers", "seed",
+            "sampler_backend", "workers", "kernel", "rr_bytes_budget",
+            "seed",
         }
         # Tuples decay to lists so the engine's isinstance checks hold.
         assert kwargs["opt_lower"] == [2.0, 3.0]

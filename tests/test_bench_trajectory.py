@@ -1,0 +1,76 @@
+"""Append-only BENCH_*.json trajectory helper (benchmarks/trajectory.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import TrajectoryError, append_entry, load_trajectory
+
+
+class TestAppendEntry:
+    def test_fresh_file_starts_a_trajectory(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        entries = append_entry(path, {"rate": 1.0})
+        assert len(entries) == 1
+        assert entries[0]["rate"] == 1.0
+        assert "recorded_utc" in entries[0]
+        data = json.loads(path.read_text())
+        assert set(data) == {"trajectory"}
+
+    def test_legacy_single_report_is_wrapped_not_lost(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        legacy = {"meta": {"numpy": "2.4"}, "current": {"rate": 5.0}}
+        path.write_text(json.dumps(legacy))
+        entries = append_entry(path, {"current": {"rate": 9.0}})
+        assert len(entries) == 2
+        assert entries[0] == legacy  # history preserved verbatim
+        assert entries[1]["current"]["rate"] == 9.0
+
+    def test_appends_accumulate(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        for i in range(3):
+            append_entry(path, {"i": i})
+        assert [e["i"] for e in load_trajectory(path)] == [0, 1, 2]
+
+    def test_existing_timestamp_is_kept(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        entries = append_entry(path, {"recorded_utc": "2026-01-01T00:00:00Z"})
+        assert entries[0]["recorded_utc"] == "2026-01-01T00:00:00Z"
+
+    def test_non_dict_entry_rejected(self, tmp_path):
+        with pytest.raises(TrajectoryError, match="must be dicts"):
+            append_entry(tmp_path / "BENCH_x.json", [1, 2])
+
+    def test_corrupt_file_shapes_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TrajectoryError, match="JSON object"):
+            append_entry(path, {"x": 1})
+        path.write_text(json.dumps({"trajectory": "not a list"}))
+        with pytest.raises(TrajectoryError, match="must be a list"):
+            load_trajectory(path)
+
+    def test_missing_or_empty_file_loads_empty(self, tmp_path):
+        assert load_trajectory(tmp_path / "nope.json") == []
+        empty = tmp_path / "BENCH_x.json"
+        empty.write_text("")
+        assert load_trajectory(empty) == []
+
+
+class TestCommittedReportsAreTrajectories:
+    def test_bench_scripts_save_through_append_entry(self):
+        # The overwrite seam is closed at the source level: no BENCH
+        # writer uses bare write_text for its report any more.
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        for script in (
+            "bench_perf_hotpaths.py",
+            "bench_grid_warm.py",
+            "bench_session_reuse.py",
+        ):
+            text = (bench_dir / script).read_text()
+            assert "append_entry" in text, script
+            assert "RESULT_PATH.write_text" not in text, script

@@ -149,5 +149,7 @@ class TestMemory:
     def test_memory_counts_members(self):
         c = RRCollection(10)
         c.add_sets(sets([0, 1, 2]))
-        # 3 members indexed twice at 8 bytes + flags + counts array.
-        assert c.memory_bytes() == 3 * 8 * 2 + 1 + c.counts.nbytes
+        # 3 members at the narrowed width + 3 int64 index entries
+        # + flags + counts array.
+        assert c.members.dtype == np.int16
+        assert c.memory_bytes() == 3 * c.members.itemsize + 3 * 8 + 1 + c.counts.nbytes

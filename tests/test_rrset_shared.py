@@ -32,7 +32,9 @@ class TestStore:
     def test_memory_counts_sets_and_index_once(self):
         store = SharedRRStore(5)
         store.extend(sets([0, 1, 2]))
-        assert store.memory_bytes() == 3 * 8 * 2
+        # 3 members at the narrowed width + 3 int64 index entries.
+        assert store.members.dtype == np.int16
+        assert store.memory_bytes() == 3 * store.members.itemsize + 3 * 8
 
 
 class TestSharedCollection:
