@@ -323,6 +323,26 @@ def cmd_tightness(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    # The linter lives in the repo checkout (tools/lint), not the
+    # installed package: repro/cli.py -> repro -> src -> <root>.
+    root = Path(__file__).resolve().parents[2]
+    if not (root / "tools" / "lint").is_dir():
+        print(
+            "repro lint: tools/lint not found next to this checkout "
+            f"(looked under {root}) — run from a source tree",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.lint.cli import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -529,11 +549,33 @@ def build_parser() -> argparse.ArgumentParser:
         "tightness", parents=[common], help="Figure 1 theory walkthrough"
     )
     p.set_defaults(func=cmd_tightness)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repo contract linter (AST rules R1-R7)",
+        description="All arguments are forwarded to `python -m tools.lint` "
+        "(try `repro lint -- --help`).",
+    )
+    p.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the linter (paths, --format, --rules, …)",
+    )
+    p.set_defaults(func=cmd_lint)
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `lint` forwards everything verbatim (argparse.REMAINDER won't
+    # capture leading optionals like `--list-rules`, so bypass it).
+    if argv and argv[0] == "lint":
+        rest = list(argv[1:])
+        if rest and rest[0] == "--":
+            rest = rest[1:]
+        return cmd_lint(argparse.Namespace(lint_args=rest))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -56,7 +56,9 @@ def _greedy(
         rounds += 1
         best_pair = None
         best_key: tuple | None = None
-        for (u, i) in live:
+        # sorted() pins scan order; _tie_key ends in (-node, -ad) so the
+        # argmax is already order-independent — this keeps R5 auditable.
+        for (u, i) in sorted(live):
             gain = oracle.marginal_revenue(i, u, seeds[i])
             if cost_sensitive:
                 pay = oracle.marginal_payment(i, u, seeds[i])

@@ -101,7 +101,7 @@ class MonteCarloOracle(SpreadOracle):
 
     def _spread_uncached(self, ad: int, seeds: frozenset) -> float:
         key_material = (self.base_seed, ad) + tuple(sorted(seeds))
-        rng = np.random.default_rng(
+        rng = as_generator(
             np.random.SeedSequence(entropy=self.base_seed, spawn_key=(hash(key_material) & 0x7FFFFFFF,))
         )
         return estimate_spread(

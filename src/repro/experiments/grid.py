@@ -394,7 +394,7 @@ def _configs_compatible(previous: dict | None, current: dict) -> bool:
     defaults = {
         f.name: f.default for f in _config_fields() if f.default is not MISSING
     }
-    for key in set(previous) | set(current):
+    for key in sorted(set(previous) | set(current)):
         if key in previous and key in current:
             if previous[key] != current[key]:
                 return False

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._rng import as_generator
 from repro.errors import InstanceError
 from repro.api.registry import BUILTIN_ALGORITHMS, get_algorithm
 from repro.api.solve import solve
@@ -95,7 +96,7 @@ def evaluate_allocation_mc(
     """
     from repro.diffusion.montecarlo import estimate_spread
 
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     total = 0.0
     for i, seeds in enumerate(result.allocation.seed_sets()):
         if not seeds:

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._rng import as_generator
 from repro.errors import FaultInjectedError, SpecError
 
 #: The named seams a rule may target (see the module docstring).
@@ -119,9 +120,7 @@ class FaultPlan:
         self._arrivals: dict[str, int] = {seam: 0 for seam in SEAMS}
         self._fired: dict[str, int] = {seam: 0 for seam in SEAMS}
         self._rngs = {
-            index: np.random.default_rng(
-                np.random.SeedSequence([self.seed, index])
-            )
+            index: as_generator(np.random.SeedSequence([self.seed, index]))
             for index, rule in enumerate(self.rules)
             if rule.probability is not None
         }

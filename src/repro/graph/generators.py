@@ -107,7 +107,7 @@ def preferential_attachment(n: int, m_per_node: int = 2, seed=None) -> DiGraph:
         while len(chosen) < min(m_per_node, v):
             u = endpoint_pool[rng.integers(0, len(endpoint_pool))]
             chosen.add(u)
-        for u in chosen:
+        for u in sorted(chosen):
             if rng.random() < 0.5:
                 tails.append(u)
                 heads.append(v)

@@ -317,7 +317,7 @@ def _worker_main(
                     in_tails,
                     probs_cache[prob_name],
                     count,
-                    np.random.default_rng(seed_seq),
+                    as_generator(seed_seq),
                     chunk_bytes,
                 )
                 result_queue.put((task_id, members, indptr))
@@ -928,7 +928,7 @@ class ParallelBackend(SamplerBackend):
                 g.in_tails,
                 self._probs_in,
                 int(count),
-                np.random.default_rng(seq),
+                as_generator(seq),
                 DEFAULT_CHUNK_BYTES,
             )
             for count, seq in zip(counts, seqs)

@@ -44,7 +44,7 @@ def is_monotone(f: SetFunction, n_samples: int = 200, rng=None) -> bool:
     if len(ground) <= _EXHAUSTIVE_LIMIT:
         for subset in _subsets(ground):
             base = f(subset)
-            for x in ground - subset:
+            for x in sorted(ground - subset):
                 if f(subset | {x}) < base - _TOL:
                     return False
         return True
@@ -98,7 +98,7 @@ def set_curvature(f: SetFunction, subset) -> float:
         return 0.0
     worst = 1.0
     seen_any = False
-    for j in subset:
+    for j in sorted(subset):
         singleton = f(frozenset({j}))
         if singleton <= _TOL:
             continue
@@ -115,8 +115,8 @@ def average_curvature(f: SetFunction, subset) -> float:
     subset = frozenset(int(x) for x in subset)
     if not subset:
         return 0.0
-    marginal_sum = sum(f.marginal(j, subset - {j}) for j in subset)
-    singleton_sum = sum(f(frozenset({j})) for j in subset)
+    marginal_sum = sum(f.marginal(j, subset - {j}) for j in sorted(subset))
+    singleton_sum = sum(f(frozenset({j})) for j in sorted(subset))
     if singleton_sum <= _TOL:
         return 0.0
     return float(np.clip(1.0 - marginal_sum / singleton_sum, 0.0, 1.0))

@@ -16,6 +16,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro._rng import as_generator
+
 
 class SetFunction(ABC):
     """A real-valued function on subsets of a finite ground set."""
@@ -84,7 +86,7 @@ class WeightedCoverageFunction(SetFunction):
         covered: set = set()
         for x in subset:
             covered |= self.cover[x]
-        return sum(self.item_weights.get(item, 0.0) for item in covered)
+        return sum(self.item_weights.get(item, 0.0) for item in sorted(covered))
 
 
 class ScaledFunction(SetFunction):
@@ -124,7 +126,7 @@ def random_coverage_function(
 ) -> CoverageFunction:
     """Random coverage instance for tests; element *x* always covers item *x mod n_items*
     so every element has non-zero value (needed by curvature ratios)."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = as_generator(rng)
     cover: dict[int, set[int]] = {}
     for x in range(n_elements):
         items = set(np.flatnonzero(rng.random(n_items) < density).tolist())

@@ -51,7 +51,7 @@ def greedy_independence_system(
     while candidates:
         best_x = None
         best_key: tuple[float, float] | None = None
-        for x in candidates:
+        for x in sorted(candidates):
             gain = f.marginal(x, solution)
             if ratio_denominator is not None:
                 denom = ratio_denominator.marginal(x, solution)

@@ -1,0 +1,1 @@
+"""Repo tooling: the ``tools.lint`` contract linter and repo check scripts."""

@@ -1,138 +1,23 @@
 #!/usr/bin/env python
-"""Verify that documentation staleness markers point at live code.
+"""Back-compat shim: the doc-marker check now lives in the lint framework.
 
-Markdown files under ``docs/`` (plus the top-level ``README.md``) may
-tie sections to code with HTML-comment markers:
+The implementation moved to :mod:`tools.lint.rules.doc_markers` (rule
+``R6``/``doc-markers``), which CI runs via ``python -m tools.lint``.
+This entry point keeps the historical invocation working:
 
-    <!-- staleness-marker: src/repro/rrset/sampler.py:RRSampler.sample_batch_flat -->
+    python tools/check_doc_markers.py [repo_root]
 
-Formats accepted after the path:
-
-* ``path`` — the file must exist;
-* ``path:function`` — a module-level function (or class) of that name;
-* ``path:Class.method`` — a method (or nested class / class-level
-  assignment) inside the class.
-
-Resolution is purely syntactic (``ast``), so the check needs no
-imports, no dependencies and no ``PYTHONPATH``.  Exit code is non-zero
-when any marker fails to resolve, or when a contract document
-(``docs/ARCHITECTURE.md``, ``docs/EXPERIMENTS.md``) exists but
-contains no markers at all (a wholesale deletion should fail loudly,
-not pass vacuously).
-
-Usage: ``python tools/check_doc_markers.py [repo_root]``
+Same output, same exit codes (0 clean, 1 on failures).
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
-MARKER_RE = re.compile(r"<!--\s*staleness-marker:\s*(?P<target>[^\s]+)\s*-->")
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-
-def iter_marker_files(root: Path):
-    docs = root / "docs"
-    if docs.is_dir():
-        yield from sorted(docs.rglob("*.md"))
-    readme = root / "README.md"
-    if readme.is_file():
-        yield readme
-
-
-def find_markers(path: Path) -> list[tuple[int, str]]:
-    """All ``(line_number, target)`` markers in one markdown file."""
-    out = []
-    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-        for match in MARKER_RE.finditer(line):
-            out.append((lineno, match.group("target")))
-    return out
-
-
-def _top_level_names(tree: ast.Module) -> dict[str, ast.AST]:
-    names: dict[str, ast.AST] = {}
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            names[node.name] = node
-        elif isinstance(node, ast.Assign):
-            for tgt in node.targets:
-                if isinstance(tgt, ast.Name):
-                    names[tgt.id] = node
-        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-            names[node.target.id] = node
-    return names
-
-
-def _class_members(cls: ast.ClassDef) -> set[str]:
-    members: set[str] = set()
-    for node in cls.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            members.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for tgt in node.targets:
-                if isinstance(tgt, ast.Name):
-                    members.add(tgt.id)
-        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-            members.add(node.target.id)
-    return members
-
-
-def resolve(root: Path, target: str) -> str | None:
-    """Return an error string, or ``None`` when *target* resolves."""
-    path_part, _, symbol = target.partition(":")
-    file_path = root / path_part
-    if not file_path.is_file():
-        return f"file {path_part!r} does not exist"
-    if not symbol:
-        return None
-    if not path_part.endswith(".py"):
-        return f"symbol lookup requires a .py file, got {path_part!r}"
-    try:
-        tree = ast.parse(file_path.read_text())
-    except SyntaxError as exc:
-        return f"cannot parse {path_part!r}: {exc}"
-    names = _top_level_names(tree)
-    head, _, tail = symbol.partition(".")
-    if head not in names:
-        return f"{path_part!r} has no top-level symbol {head!r}"
-    if not tail:
-        return None
-    cls = names[head]
-    if not isinstance(cls, ast.ClassDef):
-        return f"{head!r} in {path_part!r} is not a class (cannot hold {tail!r})"
-    if tail not in _class_members(cls):
-        return f"class {head!r} in {path_part!r} has no member {tail!r}"
-    return None
-
-
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
-    failures: list[str] = []
-    total = 0
-    for md in iter_marker_files(root):
-        for lineno, target in find_markers(md):
-            total += 1
-            error = resolve(root, target)
-            if error is not None:
-                failures.append(f"{md.relative_to(root)}:{lineno}: {target} — {error}")
-    for name in ("ARCHITECTURE.md", "EXPERIMENTS.md"):
-        doc = root / "docs" / name
-        if doc.is_file() and not find_markers(doc):
-            failures.append(
-                f"docs/{name}: contains no staleness markers "
-                "(sections must stay tied to code)"
-            )
-    if failures:
-        print(f"{len(failures)} stale doc marker(s):")
-        for failure in failures:
-            print(f"  {failure}")
-        return 1
-    print(f"all {total} doc markers resolve")
-    return 0
-
+from tools.lint.rules.doc_markers import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

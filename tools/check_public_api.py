@@ -1,109 +1,23 @@
 #!/usr/bin/env python
-"""Public-API surface check (run in CI next to the doc-marker check).
+"""Back-compat shim: the public-API check now lives in the lint framework.
 
-Three invariants, each cheap and each historically easy to break:
+The implementation moved to :mod:`tools.lint.rules.public_api` (rule
+``R7``/``public-api``), which CI runs via ``python -m tools.lint``.
+This entry point keeps the historical invocation working:
 
-1. **`repro.__all__` is honest** — every advertised name imports and
-   resolves to a real attribute (a rename that forgets the export list
-   fails here, not in a user's shell).
-2. **The unified-solver names exist** — ``solve``, ``EngineSpec``,
-   ``AllocationSession`` and the registry functions are part of the
-   contract documented in docs/ARCHITECTURE.md §9.
-3. **Committed specs round-trip** — every ``specs/*.json`` must
-   survive ``EngineSpec.from_dict(to_dict(...))`` unchanged: files with
-   a ``"datasets"`` key are :class:`GridSpec`s whose ``config`` block is
-   compiled to an :class:`EngineSpec` first (the exact path the grid
-   runner takes); all other files are raw :class:`EngineSpec`s.
+    python tools/check_public_api.py [repo_root]
 
-Usage: ``python tools/check_public_api.py [repo_root]`` — the script
-puts ``<root>/src`` on ``sys.path`` itself, so no ``PYTHONPATH`` setup
-is needed.  Exit code is non-zero on any failure, or when ``specs/``
-contains no JSON at all (a wholesale deletion should fail loudly).
+Same output, same exit codes (0 clean, 1 on failures).
 """
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
-#: Unified-solver names that must stay in repro.__all__ (ARCHITECTURE §9).
-API_CONTRACT = (
-    "solve",
-    "EngineSpec",
-    "AllocationSession",
-    "AlgorithmDef",
-    "register_algorithm",
-    "unregister_algorithm",
-    "algorithm_names",
-    "get_algorithm",
-)
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-
-def check_all_surface(failures: list[str]) -> int:
-    import repro
-
-    checked = 0
-    for name in repro.__all__:
-        checked += 1
-        if not hasattr(repro, name):
-            failures.append(f"repro.__all__ advertises missing name {name!r}")
-    for name in API_CONTRACT:
-        if name not in repro.__all__:
-            failures.append(f"unified-API name {name!r} missing from repro.__all__")
-    return checked
-
-
-def check_spec_round_trips(root: Path, failures: list[str]) -> int:
-    from repro.api.spec import EngineSpec
-    from repro.experiments.grid import GridSpec
-
-    spec_files = sorted((root / "specs").glob("*.json"))
-    if not spec_files:
-        failures.append("specs/ holds no JSON files (committed specs deleted?)")
-        return 0
-    for path in spec_files:
-        rel = path.relative_to(root)
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            failures.append(f"{rel}: unreadable JSON — {exc}")
-            continue
-        try:
-            if isinstance(data, dict) and "datasets" in data:
-                grid = GridSpec.from_dict(data)
-                # opt_lower needs a dataset at run time; any valid bound
-                # exercises the same round-trip machinery.
-                engine = grid.experiment_config().engine_spec(opt_lower=1.0)
-            else:
-                engine = EngineSpec.from_dict(data)
-        except Exception as exc:
-            failures.append(f"{rel}: does not compile to an EngineSpec — {exc}")
-            continue
-        encoded = json.loads(json.dumps(engine.to_dict()))
-        if EngineSpec.from_dict(encoded) != engine:
-            failures.append(f"{rel}: EngineSpec JSON round-trip is not the identity")
-    return len(spec_files)
-
-
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
-    sys.path.insert(0, str(root / "src"))
-    failures: list[str] = []
-    names = check_all_surface(failures)
-    specs = check_spec_round_trips(root, failures)
-    if failures:
-        print(f"{len(failures)} public-API check failure(s):")
-        for failure in failures:
-            print(f"  {failure}")
-        return 1
-    print(
-        f"public API ok: {names} __all__ names resolve, "
-        f"{specs} committed spec(s) round-trip through EngineSpec"
-    )
-    return 0
-
+from tools.lint.rules.public_api import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

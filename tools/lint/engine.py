@@ -1,0 +1,209 @@
+"""Lint engine: file walking, pragma suppression, baseline, orchestration.
+
+:func:`run_lint` is the one entry point — the CLI, the ``repro lint``
+subcommand, and the test suite all call it.  Semantics:
+
+* **Pragmas** — a ``# repro-lint: disable=<rule>[,<rule>…]`` comment on
+  a flagged line suppresses matching findings on that line; rules are
+  named by id (``R1``) or slug (``rng-discipline``); ``disable=all``
+  suppresses every rule.  Parse errors (``E0``) cannot be suppressed.
+* **Baseline** — a committed JSON file of grandfathered findings
+  (matched by ``(rule, path, message)`` so line drift doesn't churn
+  it).  Baselined findings don't fail the run but are reported in the
+  summary.  The target state is an *empty* baseline: fix, don't
+  grandfather.
+* **Exit semantics** — callers fail when ``LintResult.findings`` is
+  non-empty; baselined/suppressed findings never fail a run.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+
+from tools.lint.base import Finding, FileContext, RepoContext, Rule
+from tools.lint.rules import all_rules
+
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_\-, ]+)")
+
+#: Default lint roots, relative to the repo root.
+DEFAULT_PATHS = ("src",)
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run; ``findings`` is what fails a build."""
+
+    findings: list[Finding]
+    baselined: list[Finding]
+    suppressed: list[Finding]
+    files_checked: int
+    rules: list[Rule]
+    stale_baseline: list[dict]  #: baseline entries that matched nothing
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": [
+                {"id": r.id, "name": r.name, "description": r.description}
+                for r in self.rules
+            ],
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def iter_python_files(root: Path, paths) -> list[Path]:
+    """Resolve lint targets to a sorted, de-duplicated list of .py files."""
+    seen: dict[Path, None] = {}
+    for spec in paths:
+        target = (root / spec) if not Path(spec).is_absolute() else Path(spec)
+        if target.is_file() and target.suffix == ".py":
+            seen.setdefault(target.resolve(), None)
+        elif target.is_dir():
+            for path in sorted(target.rglob("*.py")):
+                seen.setdefault(path.resolve(), None)
+        else:
+            raise FileNotFoundError(f"lint target {spec!r} does not exist under {root}")
+    return list(seen)
+
+
+def parse_pragmas(source: str) -> dict[int, set[str]]:
+    """Per-line disabled rule tokens (ids, slugs, or ``all``)."""
+    pragmas: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(line)
+        if match:
+            tokens = {
+                token.strip()
+                for token in match.group("rules").split(",")
+                if token.strip()
+            }
+            if tokens:
+                pragmas[lineno] = tokens
+    return pragmas
+
+
+def default_baseline_path(root: Path) -> Path:
+    return root / "tools" / "lint" / "baseline.json"
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Baseline entries (possibly empty); a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text())
+    entries = data.get("findings", []) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} must hold a list of findings")
+    return entries
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    payload = {
+        "version": 1,
+        "comment": (
+            "Grandfathered repro-lint findings. The target state is an "
+            "empty list: fix violations, don't baseline them."
+        ),
+        "findings": [f.to_dict() for f in findings],
+    }
+    path.write_text(json.dumps(payload, indent=2, ensure_ascii=False) + "\n")
+
+
+def run_lint(
+    root,
+    paths=None,
+    rules: list[Rule] | None = None,
+    baseline_path=None,
+) -> LintResult:
+    """Lint *paths* under *root* with *rules* (default: all registered)."""
+    root = Path(root).resolve()
+    rule_objs = list(rules) if rules is not None else all_rules()
+    files = iter_python_files(root, paths or DEFAULT_PATHS)
+    file_rules = [r for r in rule_objs if r.scope == "file"]
+    repo_rules = [r for r in rule_objs if r.scope == "repo"]
+
+    raw: list[Finding] = []
+    pragma_maps: dict[str, dict[int, set[str]]] = {}
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    "E0",
+                    "parse-error",
+                    rel,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        ctx = FileContext(root, path, source, tree)
+        pragma_maps[rel] = parse_pragmas(source)
+        for rule in file_rules:
+            if rule.applies_to(rel):
+                raw.extend(rule.check_file(ctx))
+    if repo_rules:
+        rctx = RepoContext(root, files)
+        for rule in repo_rules:
+            raw.extend(rule.check_repo(rctx))
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        tokens = pragma_maps.get(finding.path, {}).get(finding.line, set())
+        if finding.rule != "E0" and (
+            "all" in tokens or finding.rule in tokens or finding.name in tokens
+        ):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+
+    baseline_file = (
+        Path(baseline_path) if baseline_path is not None else default_baseline_path(root)
+    )
+    entries = load_baseline(baseline_file)
+    remaining: dict[tuple, int] = {}
+    for entry in entries:
+        key = (entry.get("rule"), entry.get("path"), entry.get("message"))
+        remaining[key] = remaining.get(key, 0) + 1
+    findings: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in active:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            findings.append(finding)
+    stale = [
+        {"rule": key[0], "path": key[1], "message": key[2], "count": count}
+        for key, count in remaining.items()
+        if count > 0
+    ]
+
+    return LintResult(
+        findings=findings,
+        baselined=baselined,
+        suppressed=suppressed,
+        files_checked=len(files),
+        rules=rule_objs,
+        stale_baseline=stale,
+    )

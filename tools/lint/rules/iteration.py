@@ -1,0 +1,184 @@
+"""R5 — iteration-order determinism: never iterate an unordered set.
+
+Set iteration order depends on insertion history and (for str keys) the
+per-process hash seed; any ``for``/comprehension over a set that feeds
+sampling, allocation argmaxes, or manifest-row order is a latent
+nondeterminism bug even when today's tie-breaks happen to mask it.
+Iterating ``dict.keys()`` is flagged too — views signal set-like usage,
+and making the order explicit (the dict itself is insertion-ordered, or
+``sorted(...)``) keeps the contract auditable.
+
+``sorted(<set>)`` is the sanctioned spelling and never flagged;
+``list``/``tuple``/``enumerate``/``reversed``/``iter`` wrappers are
+transparent (they preserve whatever order the set hands them).
+
+Comprehensions consumed by an order-insensitive reducer —
+``set``/``frozenset``/``len``/``any``/``all``/``min``/``max``/``sorted``
+— are exempt, as are set comprehensions themselves: the result forgets
+the iteration order.  ``sum`` is deliberately NOT exempt; float addition
+is not associative, so reordering changes bits.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.base import FileContext, Rule
+from tools.lint.rules import register_rule
+
+SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+TRANSPARENT_WRAPPERS = frozenset({"list", "tuple", "enumerate", "reversed", "iter"})
+#: Consumers whose result is independent of input order (note: not `sum` —
+#: float addition is order-sensitive at the bit level).
+ORDER_INSENSITIVE_REDUCERS = frozenset(
+    {"set", "frozenset", "len", "any", "all", "min", "max", "sorted"}
+)
+SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _set_assignments(scope: ast.AST) -> set[str]:
+    """Names bound (anywhere in *scope*) to a set-producing expression."""
+    names: set[str] = set()
+
+    def value_of(stmt):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and stmt.value is not None:
+            return stmt.value
+        return None
+
+    changed = True
+    while changed:  # fixpoint so `a = set(); b = a | other` resolves
+        changed = False
+        for stmt in ast.walk(scope):
+            value = value_of(stmt)
+            if value is None or not _is_set_expr(value, names):
+                continue
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.add(target.id)
+                    changed = True
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SET_METHODS
+            and _is_set_expr(node.func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, SET_OPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _is_keys_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _unwrap(node: ast.expr) -> ast.expr | None:
+    """Peel transparent wrappers; ``None`` when order is made explicit."""
+    while isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "sorted":
+            return None  # sorted(...) fixes the order — sanctioned
+        if node.func.id in TRANSPARENT_WRAPPERS and node.args:
+            node = node.args[0]
+            continue
+        break
+    return node
+
+
+@register_rule
+class IterationDeterminismRule(Rule):
+    id = "R5"
+    name = "iter-determinism"
+    description = (
+        "no iteration over sets (or dict.keys()) where order can leak "
+        "into results — iterate sorted(...) or an ordered container"
+    )
+
+    def check_file(self, ctx: FileContext):
+        # Scope set-name tracking per function (plus module scope) so a
+        # module-level `FOO = set(...)` doesn't taint unrelated locals.
+        scopes = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in [ctx.tree] + scopes:
+            set_names = _set_assignments(scope)
+            for node in self._direct_children_iterations(scope):
+                target = _unwrap(node)
+                if target is None:
+                    continue
+                if _is_set_expr(target, set_names):
+                    yield self.finding(ctx, target, (
+                        "iteration over an unordered set — its order can "
+                        "leak into sampling/allocation/manifest order; "
+                        "iterate sorted(...) instead"
+                    ))
+                elif _is_keys_call(target):
+                    yield self.finding(ctx, target, (
+                        "iteration over dict.keys() — iterate the dict "
+                        "itself (insertion-ordered) or sorted(...) to make "
+                        "the order explicit"
+                    ))
+
+    def _direct_children_iterations(self, scope: ast.AST):
+        """Iteration expressions belonging to *scope* (not nested functions).
+
+        ``ast.walk`` cannot skip subtrees, so this walks an explicit
+        stack and prunes nested function bodies (they get their own
+        scope pass).
+        """
+        exempt: set[ast.AST] = set()
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ORDER_INSENSITIVE_REDUCERS
+            ):
+                # e.g. frozenset(int(s) for s in seeds): the reducer
+                # forgets input order, so the comprehension is exempt.
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+                    ):
+                        exempt.add(arg)
+            if isinstance(node, ast.For):
+                yield node.iter
+            elif isinstance(node, ast.SetComp):
+                pass  # result is a set — iteration order cannot escape
+            elif isinstance(
+                node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                if node not in exempt:
+                    for comp in node.generators:
+                        yield comp.iter
+            stack.extend(ast.iter_child_nodes(node))

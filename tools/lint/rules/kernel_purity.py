@@ -1,0 +1,202 @@
+"""R2 — kernel purity: ``@njit`` functions stay numeric and RNG-free.
+
+The numpy↔numba bit-identity contract (docs/ARCHITECTURE.md §2.1)
+holds because every stochastic step stays in the Python driver and the
+compiled helpers are pure numeric loops.  This rule makes that
+checkable without numba installed: a function decorated ``@njit`` (or
+``@numba.njit`` / ``@jit``, bare or parameterized) may not
+
+* draw randomness (any R1 entropy call, ``as_generator``, or a
+  Generator method like ``rng.random(...)``),
+* allocate Python containers inside a loop (list/dict/set literals,
+  comprehensions, or ``list()``/``dict()``/``set()`` calls — each
+  iteration would box through the interpreter or fall off numba's
+  fast path), or
+* read globals other than imported modules (``np``/``numpy``/``math``),
+  whitelisted builtins, or module-level *numeric* constants — the only
+  globals numba freezes safely.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.base import FileContext, ImportMap, Rule
+from tools.lint.rules import register_rule
+from tools.lint.rules.rng import entropy_calls
+
+#: Builtins a compiled kernel may reference.
+ALLOWED_BUILTINS = frozenset(
+    {"range", "len", "min", "max", "abs", "int", "float", "bool", "round", "divmod", "enumerate", "zip"}
+)
+
+#: Module roots a compiled kernel may reference.
+ALLOWED_MODULES = frozenset({"np", "numpy", "math", "nb", "numba"})
+
+#: numpy.random.Generator draw methods (kernels must not hold a Generator).
+GENERATOR_METHODS = frozenset(
+    {"random", "integers", "choice", "shuffle", "permutation", "normal", "uniform", "standard_normal"}
+)
+
+
+def _body_walk(fn: ast.FunctionDef):
+    """Walk the function *body* only — decorators and defaults are the
+    enclosing scope's business (``@njit(cache=True)`` must not flag
+    ``njit`` as a global read of the kernel)."""
+    for stmt in fn.body:
+        yield from ast.walk(stmt)
+
+
+def _is_jit_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id in ("njit", "jit")
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("njit", "jit")
+    return False
+
+
+def jit_functions(tree: ast.AST):
+    """Every function in *tree* decorated with a JIT decorator."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(_is_jit_decorator(dec) for dec in node.decorator_list):
+                yield node
+
+
+def _local_names(fn: ast.FunctionDef) -> set[str]:
+    """Parameters plus every name the function binds itself."""
+    args = fn.args
+    names = {
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    }
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    for node in _body_walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+def _numeric_constant_names(tree: ast.Module) -> set[str]:
+    """Module-level names bound to numeric-literal expressions."""
+
+    def numeric(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, (int, float, complex, bool))
+        if isinstance(expr, ast.UnaryOp):
+            return numeric(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return numeric(expr.left) and numeric(expr.right)
+        return False
+
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and numeric(node.value):
+            names.update(t.id for t in node.targets if isinstance(t, ast.Name))
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.value is not None
+            and numeric(node.value)
+        ):
+            names.add(node.target.id)
+    return names
+
+
+@register_rule
+class KernelPurityRule(Rule):
+    id = "R2"
+    name = "kernel-purity"
+    description = (
+        "@njit functions may not draw RNG, allocate Python containers in "
+        "loops, or read non-numeric globals"
+    )
+
+    def check_file(self, ctx: FileContext):
+        imports = ImportMap(ctx.tree)
+        allowed_globals = (
+            ALLOWED_BUILTINS | ALLOWED_MODULES | _numeric_constant_names(ctx.tree)
+        )
+        for fn in jit_functions(ctx.tree):
+            yield from self._check_rng(ctx, fn, imports)
+            yield from self._check_loop_containers(ctx, fn)
+            yield from self._check_globals(ctx, fn, allowed_globals)
+
+    # -- RNG -----------------------------------------------------------
+    def _check_rng(self, ctx: FileContext, fn, imports: ImportMap):
+        body = ast.Module(body=list(fn.body), type_ignores=[])
+        for node, _ in entropy_calls(body, imports):
+            yield self.finding(ctx, node, (
+                f"@njit kernel {fn.name!r} draws randomness — RNG draws must "
+                "stay in the Python driver so numpy and numba consume the "
+                "identical stream"
+            ))
+        for node in _body_walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(node.func)
+            if canonical is not None and canonical.endswith("as_generator"):
+                yield self.finding(ctx, node, (
+                    f"@njit kernel {fn.name!r} constructs a Generator via "
+                    "as_generator — kernels must be deterministic in their inputs"
+                ))
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in GENERATOR_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and imports.canonical(node.func) is None
+            ):
+                yield self.finding(ctx, node, (
+                    f"@njit kernel {fn.name!r} calls "
+                    f".{node.func.attr}() on {node.func.value.id!r} — looks "
+                    "like a Generator draw; RNG must stay in the Python driver"
+                ))
+
+    # -- containers in loops -------------------------------------------
+    def _check_loop_containers(self, ctx: FileContext, fn):
+        seen: set[ast.AST] = set()
+        for loop in _body_walk(fn):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if node is loop or node in seen:
+                    continue
+                bad = None
+                if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+                    bad = type(node).__name__.lower() + " literal"
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                    bad = "comprehension"
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    if node.func.id in ("list", "dict", "set"):
+                        bad = f"{node.func.id}() call"
+                if bad is not None:
+                    seen.add(node)
+                    yield self.finding(ctx, node, (
+                        f"@njit kernel {fn.name!r} allocates a Python "
+                        f"container in a loop ({bad}) — preallocate numpy "
+                        "buffers outside the loop"
+                    ))
+
+    # -- globals -------------------------------------------------------
+    def _check_globals(self, ctx: FileContext, fn, allowed: set[str]):
+        local = _local_names(fn)
+        reported: set[str] = set()
+        for node in _body_walk(fn):
+            if not isinstance(node, ast.Name) or not isinstance(node.ctx, ast.Load):
+                continue
+            name = node.id
+            if name in local or name in allowed or name in reported:
+                continue
+            reported.add(name)
+            yield self.finding(ctx, node, (
+                f"@njit kernel {fn.name!r} reads global {name!r} — kernels "
+                "may only touch parameters, numpy/math, and module-level "
+                "numeric constants"
+            ))

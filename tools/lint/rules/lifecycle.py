@@ -1,0 +1,164 @@
+"""R3 — resource lifecycle: shm/memmap/tempfile handles must be paired.
+
+``SharedMemory`` segments, spill-file ``np.memmap``s and tempfiles are
+the resources PR 6/7 taught this repo to reap after crashes; a creation
+site with no statically visible release is a leak waiting for the next
+refactor.  A creation call is accepted when any of these holds:
+
+* it is the context expression of a ``with`` statement;
+* it is directly ``return``-ed (a factory — the caller owns it);
+* the enclosing function registers a ``weakref.finalize`` backstop;
+* the enclosing function pairs it in a ``try/finally`` whose finally
+  block calls ``.close()``/``.unlink()``/``os.close``/``os.unlink``;
+* it happens in a method of a class that defines ``close``,
+  ``__exit__`` or ``__del__`` (instance-owned; sessions/pools close it);
+* for ``tempfile.mkstemp``, the enclosing function calls ``os.close``
+  (the fd is closed immediately; the path needs one of the above).
+
+Everything else is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.base import FileContext, ImportMap, Rule
+from tools.lint.rules import register_rule
+
+#: Canonical callables that create a lifecycle-managed resource.
+CREATORS = {
+    "multiprocessing.shared_memory.SharedMemory": "SharedMemory segment",
+    "numpy.memmap": "np.memmap mapping",
+    "tempfile.NamedTemporaryFile": "NamedTemporaryFile",
+    "tempfile.mkstemp": "mkstemp temp file",
+    "tempfile.TemporaryFile": "TemporaryFile",
+}
+
+RELEASE_ATTRS = frozenset({"close", "unlink", "terminate", "shutdown", "cleanup"})
+RELEASE_CANONICAL = frozenset({"os.close", "os.unlink", "os.remove"})
+
+
+def _build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _ancestors(node: ast.AST, parents: dict) -> list[ast.AST]:
+    chain = []
+    while node in parents:
+        node = parents[node]
+        chain.append(node)
+    return chain
+
+
+def _is_release_call(node: ast.AST, imports: ImportMap) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    canonical = imports.canonical(node.func)
+    if canonical in RELEASE_CANONICAL:
+        return True
+    return isinstance(node.func, ast.Attribute) and node.func.attr in RELEASE_ATTRS
+
+
+def _contains_release(body: list[ast.stmt], imports: ImportMap) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if _is_release_call(node, imports):
+                return True
+    return False
+
+
+def _calls_weakref_finalize(scope: ast.AST, imports: ImportMap) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            canonical = imports.canonical(node.func)
+            if canonical == "weakref.finalize":
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "finalize":
+                return True
+    return False
+
+
+def _calls_os_close(scope: ast.AST, imports: ImportMap) -> bool:
+    return any(
+        isinstance(node, ast.Call) and imports.canonical(node.func) == "os.close"
+        for node in ast.walk(scope)
+    )
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    id = "R3"
+    name = "resource-lifecycle"
+    description = (
+        "SharedMemory/np.memmap/tempfile creations need a paired "
+        "close/unlink (with, try/finally, owning-class close, or "
+        "weakref.finalize backstop)"
+    )
+
+    def check_file(self, ctx: FileContext):
+        imports = ImportMap(ctx.tree)
+        parents = _build_parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(node.func)
+            if canonical not in CREATORS:
+                continue
+            if self._is_managed(node, canonical, parents, imports):
+                continue
+            yield self.finding(ctx, node, (
+                f"{CREATORS[canonical]} created without a statically visible "
+                "release — use a context manager, pair close/unlink in a "
+                "finally block, hand it to an owning class with close(), or "
+                "register a weakref.finalize backstop"
+            ))
+
+    def _is_managed(self, node, canonical, parents, imports: ImportMap) -> bool:
+        chain = _ancestors(node, parents)
+        # 1. context expression of a `with` item.
+        for ancestor in chain:
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if node is item.context_expr or any(
+                        sub is node for sub in ast.walk(item.context_expr)
+                    ):
+                        return True
+        # 2. directly returned: the nearest statement is a Return.
+        for ancestor in chain:
+            if isinstance(ancestor, ast.stmt):
+                if isinstance(ancestor, ast.Return):
+                    return True
+                break
+        fn = next(
+            (a for a in chain if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))),
+            None,
+        )
+        cls = next((a for a in chain if isinstance(a, ast.ClassDef)), None)
+        if fn is not None:
+            # 3. weakref.finalize backstop in the same function.
+            if _calls_weakref_finalize(fn, imports):
+                return True
+            # 4. try/finally release in the same function.
+            for sub in ast.walk(fn):
+                if isinstance(sub, ast.Try) and sub.finalbody:
+                    if _contains_release(sub.finalbody, imports):
+                        return True
+            # 5. mkstemp: fd closed via os.close in the same function
+            #    (the path side still needs 3/4/6 — mkstemp callers in this
+            #    repo pair os.close with a finalize; requiring os.close
+            #    keeps the fd from leaking silently).
+            if canonical == "tempfile.mkstemp" and _calls_os_close(fn, imports):
+                return True
+        # 6. instance-owned: a method of a class that can release it.
+        if cls is not None and fn is not None:
+            for member in cls.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if member.name in ("close", "__exit__", "__del__"):
+                        return True
+            if _calls_weakref_finalize(cls, imports):
+                return True
+        return False
