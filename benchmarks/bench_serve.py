@@ -1,0 +1,197 @@
+"""Serving-layer benchmark (perf trajectory: ``BENCH_serve.json``).
+
+Measures what ``repro serve`` buys over per-query cold starts for the
+service query pattern — repeated allocation queries against one
+``(dataset, probability family)``:
+
+* **cold** — the first query through the daemon: the pool opens a
+  session, samples RR sets, prices singletons (what every query would
+  pay without the pool);
+* **warm** — repeated queries riding the pooled session: p50/p95
+  client-observed latency and sequential throughput (queries/sec);
+* **concurrent** — a 4-client burst of identical queries, measuring
+  end-to-end throughput through admission + the single solver loop.
+
+The report embeds the daemon's ``/stats`` counters (warm-hit rate,
+evictions, per-session sampler deltas), so the mechanism is visible
+next to the wall-clock numbers: the warm burst should show
+``sets_sampled == 0`` after the cold query filled the stores.
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_serve.py``,
+or via ``pytest benchmarks/bench_serve.py`` (structure checks only —
+wall-clock numbers from one machine would fail spuriously elsewhere).
+Like the other ``BENCH_*.json`` files, the committed numbers extend the
+trajectory (append, never overwrite); re-run on your own host to
+compare.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.serve import ReproServer, ServeConfig
+from repro.serve import client as serve_client
+
+try:  # package import (pytest from the repo root)
+    from benchmarks.trajectory import append_entry
+except ImportError:  # standalone: python benchmarks/<script>.py
+    from trajectory import append_entry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+WORKLOAD = dict(
+    dataset="epinions_syn",
+    n=1_200,
+    h=6,
+    singleton_rr_samples=2_000,
+    eps=0.4,
+    theta_cap=8_000,
+    seed=11,
+    warm_queries=8,
+    concurrent_clients=4,
+    concurrent_queries=8,
+)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def run_benchmark() -> dict:
+    config = ExperimentConfig(
+        eps=WORKLOAD["eps"],
+        theta_cap=WORKLOAD["theta_cap"],
+        singleton_rr_samples=WORKLOAD["singleton_rr_samples"],
+        seed=WORKLOAD["seed"],
+    )
+    entry = {
+        "name": WORKLOAD["dataset"],
+        "n": WORKLOAD["n"],
+        "h": WORKLOAD["h"],
+        "singleton_rr_samples": WORKLOAD["singleton_rr_samples"],
+    }
+    axes = dict(dataset=entry, algorithm="TI-CSRM", seed=WORKLOAD["seed"])
+
+    server = ReproServer(ServeConfig(config=config))
+    server.start()
+    solver = threading.Thread(target=server.run, daemon=True)
+    solver.start()
+    addr = server.address
+    try:
+        t0 = time.perf_counter()
+        cold = serve_client.query(addr, **axes)
+        cold_s = time.perf_counter() - t0
+
+        warm_times: list[float] = []
+        for _ in range(WORKLOAD["warm_queries"]):
+            t0 = time.perf_counter()
+            warm = serve_client.query(addr, **axes)
+            warm_times.append(time.perf_counter() - t0)
+        assert warm["serve"]["warm_session"] is True
+
+        burst_times: list[float] = []
+        lock = threading.Lock()
+
+        def burst_client(count: int) -> None:
+            for _ in range(count):
+                t0 = time.perf_counter()
+                serve_client.query(addr, **axes)
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    burst_times.append(elapsed)
+
+        per_client = WORKLOAD["concurrent_queries"] // WORKLOAD["concurrent_clients"]
+        t0 = time.perf_counter()
+        clients = [
+            threading.Thread(target=burst_client, args=(per_client,))
+            for _ in range(WORKLOAD["concurrent_clients"])
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        burst_wall_s = time.perf_counter() - t0
+
+        stats = serve_client.stats(addr)
+    finally:
+        server.begin_drain()
+        solver.join(timeout=120)
+        server.shutdown()
+
+    warm_total = sum(warm_times)
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workload": dict(WORKLOAD),
+        "cold": {"first_query_s": round(cold_s, 4)},
+        "warm": {
+            "times_s": [round(t, 4) for t in warm_times],
+            "p50_s": round(_percentile(warm_times, 50), 4),
+            "p95_s": round(_percentile(warm_times, 95), 4),
+            "queries_per_s": round(len(warm_times) / max(warm_total, 1e-9), 2),
+            "speedup_vs_cold": round(
+                cold_s / max(warm_total / len(warm_times), 1e-9), 2
+            ),
+        },
+        "concurrent": {
+            "clients": WORKLOAD["concurrent_clients"],
+            "queries": len(burst_times),
+            "wall_s": round(burst_wall_s, 4),
+            "queries_per_s": round(len(burst_times) / max(burst_wall_s, 1e-9), 2),
+            "p95_s": round(_percentile(burst_times, 95), 4),
+        },
+        "serve_stats": stats["serve"],
+        "pool_counters": {
+            k: v for k, v in stats["pool"].items() if k != "sessions"
+        },
+        # Cumulative sampler draws across the session's whole lifetime:
+        # equal to the cold query's sampling iff the warm burst reused
+        # the stores entirely.
+        "session_sets_sampled_total": (
+            stats["pool"]["sessions"][0]["session"]["sets_sampled"]
+            if stats["pool"]["sessions"]
+            else None
+        ),
+        "note": (
+            "cold.first_query_s includes dataset build + session open + RR "
+            "sampling; warm queries ride the pooled session (the embedded "
+            "warm_hit_rate and per-session sampler counters show the reuse). "
+            "concurrent measures the single-solver-loop throughput under a "
+            "4-client burst of identical queries."
+        ),
+    }
+    return report
+
+
+def main() -> None:
+    report = run_benchmark()
+    append_entry(RESULT_PATH, report)  # append-only: history is kept
+    print(json.dumps(report, indent=2))
+    print(f"# written to {RESULT_PATH}")
+
+
+# -- pytest wrappers (structure only; see module docstring) -------------
+def test_report_structure():
+    report = run_benchmark()
+    total = 1 + WORKLOAD["warm_queries"] + WORKLOAD["concurrent_queries"]
+    assert report["serve_stats"]["queries_served"] == total
+    # Everything after the cold query is a warm hit on one session.
+    assert report["pool_counters"]["warm_hits"] == total - 1
+    assert report["pool_counters"]["cold_misses"] == 1
+    assert report["serve_stats"]["warm_hit_rate"] > 0.8
+    assert len(report["warm"]["times_s"]) == WORKLOAD["warm_queries"]
+
+
+if __name__ == "__main__":
+    main()

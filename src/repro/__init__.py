@@ -46,6 +46,7 @@ from repro.errors import (
     PoolDegradedError,
     CellTimeoutError,
     FaultInjectedError,
+    ServeError,
 )
 from repro.faults import FaultPlan, FaultRule, fault_plan
 from repro.graph import (
@@ -143,6 +144,7 @@ __all__ = [
     "PoolDegradedError",
     "CellTimeoutError",
     "FaultInjectedError",
+    "ServeError",
     "FaultPlan",
     "FaultRule",
     "fault_plan",

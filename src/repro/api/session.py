@@ -176,6 +176,18 @@ class AllocationSession:
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed session refuses solves).
+
+        Pool owners (the serve layer's
+        :class:`~repro.serve.pool.SessionPool`, the grid runner's
+        :class:`~repro.experiments.grid.WarmSessionGroups`) key eviction
+        and teardown decisions on this flag instead of poking at
+        private state.
+        """
+        return self._closed
+
+    @property
     def stats(self) -> dict:
         """Counters + store sizes: what the session has drawn and kept.
 
@@ -198,28 +210,36 @@ class AllocationSession:
         currently in that degraded mode.
         """
         stores = list(self._warm.stores.values())
-        stored_sets = sum(g.store.size for g in stores)
-        store_bytes = sum(
-            g.store.member_bytes + int(g.store.indptr.nbytes) for g in stores
+        stored_sets = int(sum(int(g.store.size) for g in stores))
+        store_bytes = int(
+            sum(
+                int(g.store.member_bytes) + int(g.store.indptr.nbytes)
+                for g in stores
+            )
         )
+        # Every value is a plain int/float/bool: the serve layer's
+        # /stats endpoint and the grid manifest serialize this dict with
+        # json.dumps, which rejects numpy scalars (store sizes arrive as
+        # np.int64 from array bookkeeping).
         return {
-            **self._stats,
-            **self._warm.counters,
+            **{key: int(value) for key, value in self._stats.items()},
+            **{key: int(value) for key, value in self._warm.counters.items()},
             "stores": len(stores),
             "stored_sets": stored_sets,
-            "stored_members": sum(g.store.member_total for g in stores),
+            "stored_members": int(sum(int(g.store.member_total) for g in stores)),
             # Measured memory accounting (docs/ARCHITECTURE.md §2):
             # narrowed/spilled member storage across all warm stores.
             "store_bytes": store_bytes,
-            "peak_store_bytes": sum(g.store.peak_bytes for g in stores),
-            "bytes_per_rr_set": (
+            "peak_store_bytes": int(sum(int(g.store.peak_bytes) for g in stores)),
+            "bytes_per_rr_set": float(
                 store_bytes / stored_sets if stored_sets else 0.0
             ),
             "spilled_stores": sum(1 for g in stores if g.store.spilled),
             "pagerank_orders": len(self._warm.pagerank_orders),
-            "pool_active": self._warm.pool is not None
-            and not self._warm.pool.failed,
-            "pool_degraded_state": self._warm.pool_failed,
+            "pool_active": bool(
+                self._warm.pool is not None and not self._warm.pool.failed
+            ),
+            "pool_degraded_state": bool(self._warm.pool_failed),
         }
 
     # ------------------------------------------------------------------

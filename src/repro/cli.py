@@ -8,7 +8,9 @@ Gives downstream users the experiment pipeline without writing code:
 * ``sweep``     — a Figure 2/3-style α sweep on one dataset;
 * ``grid``      — run a declarative scenario grid from a JSON spec;
 * ``ingest``    — parse a SNAP-style edge list (stats + ``.npz`` cache);
-* ``tightness`` — print the Figure 1 theory walkthrough numbers.
+* ``tightness`` — print the Figure 1 theory walkthrough numbers;
+* ``serve``     — run the allocation daemon over a warm session pool;
+* ``query``     — send one allocation query to a running daemon.
 
 Examples::
 
@@ -21,6 +23,9 @@ Examples::
     python -m repro ingest data/soc-Epinions1.txt --cache
     python -m repro table --which 1
     python -m repro tightness
+    python -m repro serve --port 8642 --serve-bytes-budget 500000000
+    python -m repro query --addr 127.0.0.1:8642 --dataset epinions_syn \\
+        --n 500 --algorithm TI-CSRM --budget 120
 """
 
 from __future__ import annotations
@@ -323,6 +328,114 @@ def cmd_tightness(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the allocation daemon until drained (SIGTERM/SIGINT/max-queries).
+
+    The solver loop runs on this (main) thread, which is what arms the
+    SIGALRM per-query deadline (``--query-timeout``); the HTTP frontend
+    runs on a background thread.  The engine config (accuracy, workers,
+    kernel, per-store byte budget) is fixed here for every pooled
+    session — queries choose datasets and marketplace axes only.
+    """
+    from repro.serve import ReproServer, ServeConfig
+
+    server = ReproServer(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            config=_config(args),
+            bytes_budget=args.serve_bytes_budget or None,
+            max_sessions=args.max_sessions,
+            queue_size=args.queue_size,
+            query_timeout_s=args.query_timeout,
+            max_queries=args.max_queries,
+        )
+    )
+    # Parsed by tools/serve_smoke.py and shell scripts: keep the
+    # "listening on" line first and flushed before any solving starts.
+    print(f"# repro-serve listening on {server.address}", flush=True)
+    print(
+        f"# sessions: bytes_budget={server.pool.bytes_budget or 'unbounded'} "
+        f"max_sessions={server.pool.max_sessions or 'unbounded'} "
+        f"queue_size={server.config.queue_size} "
+        f"query_timeout={server.config.query_timeout_s or 'unbounded'}",
+        flush=True,
+    )
+    server.install_signal_handlers()
+    server.serve_forever()
+    counters = server.counters
+    print(
+        f"# drained: served={counters['queries_served']} "
+        f"rejected={counters['admission_rejects']} "
+        f"errors={counters['solve_errors']} "
+        f"timeouts={counters['query_timeouts']} "
+        f"evictions={server.pool.counters['evictions']}",
+        flush=True,
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Send one query (or a stats/health probe) to a running daemon."""
+    import json as _json
+
+    from repro.serve import client as serve_client
+
+    if args.stats or args.healthz:
+        path = "/stats" if args.stats else "/healthz"
+        _, payload = serve_client.request(
+            args.addr, path, timeout=args.timeout
+        )
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not args.dataset and not args.dataset_path:
+        print("repro query: --dataset or --dataset-path is required", file=sys.stderr)
+        return 2
+    entry: dict = (
+        {"path": args.dataset_path} if args.dataset_path else {"name": args.dataset}
+    )
+    if args.n is not None:
+        entry["n"] = args.n
+    if args.dataset_h is not None:
+        entry["h"] = args.dataset_h
+    payload = serve_client.query(
+        args.addr,
+        timeout=args.timeout,
+        dataset=entry,
+        algorithm=args.algorithm,
+        h=args.h,
+        budget=args.budget,
+        cpe=args.cpe,
+        incentive_model=args.incentives,
+        alpha=args.alpha,
+        window=args.window,
+        seed=args.seed,
+    )
+    serve = payload.get("serve", {})
+    print(
+        f"# {payload['algorithm']}: revenue={payload['revenue']:.1f} "
+        f"seed_cost={payload['seed_cost']:.1f} seeds={payload['seeds']} "
+        f"time={payload['runtime_s']:.2f}s seed={payload['effective_seed']}"
+    )
+    print(
+        f"# serve: pool_key={serve.get('pool_key')} "
+        f"warm={serve.get('warm_session')} "
+        f"sampled={serve.get('sets_sampled')} "
+        f"queue_wait={serve.get('queue_wait_s')}s"
+    )
+    rows = [
+        {
+            "ad": i,
+            "revenue": payload["revenue_per_ad"][i],
+            "incentives": payload["seeding_cost_per_ad"][i],
+            "seeds": len(seeds),
+        }
+        for i, seeds in enumerate(payload["allocation"])
+    ]
+    print(format_table(rows))
+    return 0
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -549,6 +662,122 @@ def build_parser() -> argparse.ArgumentParser:
         "tightness", parents=[common], help="Figure 1 theory walkthrough"
     )
     p.set_defaults(func=cmd_tightness)
+
+    p = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the allocation daemon over a warm session pool",
+        description="Long-running HTTP daemon: POST /solve queries route "
+        "onto pooled warm AllocationSessions keyed by (dataset, probs "
+        "family); GET /healthz and /stats expose liveness and counters. "
+        "SIGTERM/SIGINT drain gracefully (in-flight queries finish, all "
+        "sessions close). The engine knobs in the common flags are fixed "
+        "for every session at startup; per-query axes travel in the "
+        "query body (see `repro query`).",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral, printed)"
+    )
+    p.add_argument(
+        "--serve-bytes-budget",
+        type=int,
+        default=0,
+        dest="serve_bytes_budget",
+        help="global cap on summed measured RR-store bytes across all "
+        "pooled sessions; past it whole least-recently-used sessions "
+        "are evicted (0 = unbounded)",
+    )
+    p.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        dest="max_sessions",
+        help="cap on concurrently pooled sessions (default: unbounded)",
+    )
+    p.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        dest="queue_size",
+        help="bound on queued-but-unsolved queries; past it new queries "
+        "are rejected 429 (backpressure)",
+    )
+    p.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        dest="query_timeout",
+        help="per-query wall-clock deadline in seconds, queue wait "
+        "included (default: unbounded); a timed-out query gets 504 and "
+        "its session is discarded",
+    )
+    p.add_argument(
+        "--max-queries",
+        type=int,
+        default=None,
+        dest="max_queries",
+        help="drain automatically after this many processed queries "
+        "(smoke tests / benchmarks; default: run until signalled)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="send one allocation query to a running `repro serve` daemon",
+    )
+    p.add_argument(
+        "--addr", required=True, help="daemon address, host:port (see serve output)"
+    )
+    p.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_BUILDERS),
+        default=None,
+        help="synthetic analog dataset name",
+    )
+    p.add_argument(
+        "--dataset-path",
+        default=None,
+        dest="dataset_path",
+        help="edge-list path instead of --dataset",
+    )
+    p.add_argument("--n", type=int, default=None, help="dataset size override")
+    p.add_argument(
+        "--dataset-h",
+        type=int,
+        default=None,
+        dest="dataset_h",
+        help="advertiser count built into the dataset entry (pool key)",
+    )
+    p.add_argument("--algorithm", choices=algorithm_names(), default="TI-CSRM")
+    p.add_argument(
+        "--h", type=int, default=None, help="per-query advertiser count override"
+    )
+    p.add_argument("--budget", type=float, default=None, help="per-ad budget override")
+    p.add_argument("--cpe", type=float, default=None, help="cost-per-engagement override")
+    p.add_argument(
+        "--incentives",
+        choices=("linear", "constant", "sublinear", "superlinear"),
+        default="linear",
+    )
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.add_argument("--window", type=int, default=None, help="TI-CSRM window override")
+    p.add_argument(
+        "--seed", type=int, default=None, help="query RNG seed (default: daemon's)"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="client-side HTTP timeout in seconds",
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="print the daemon's /stats and exit"
+    )
+    p.add_argument(
+        "--healthz", action="store_true", help="print the daemon's /healthz and exit"
+    )
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
         "lint",

@@ -74,3 +74,13 @@ class CellTimeoutError(ReproError):
 class FaultInjectedError(ReproError):
     """Raised by :mod:`repro.faults` at a ``cell.raise`` seam — a
     deterministic, injected failure for chaos tests."""
+
+
+class ServeError(ReproError):
+    """Raised by the :mod:`repro.serve` layer: malformed queries, client
+    transport failures, and daemon misconfiguration.
+
+    Server-side, a :class:`ServeError` maps to an HTTP 4xx (the query is
+    at fault); unexpected solve failures map to 5xx without being
+    wrapped, so their class names survive into the error payload.
+    """

@@ -23,6 +23,12 @@ seam                    fired by
                         :class:`~repro.errors.FaultInjectedError`.
 ``cell.delay``          same point — the cell sleeps ``delay_s``
                         seconds first (trips the per-cell timeout).
+``serve.reject``        :meth:`repro.serve.server.ReproServer` at
+                        request admission — the tagged request is
+                        rejected 429 even though the queue has room.
+``serve.delay``         the serve solver loop just before a query
+                        solves — the solver sleeps ``delay_s`` seconds
+                        (backs the queue up / trips query deadlines).
 ======================  ================================================
 
 Rules fire either on deterministic arrival ordinals (``at`` /
@@ -56,7 +62,15 @@ from repro._rng import as_generator
 from repro.errors import FaultInjectedError, SpecError
 
 #: The named seams a rule may target (see the module docstring).
-SEAMS = ("worker.kill", "shard.delay", "shm.attach", "cell.raise", "cell.delay")
+SEAMS = (
+    "worker.kill",
+    "shard.delay",
+    "shm.attach",
+    "cell.raise",
+    "cell.delay",
+    "serve.reject",
+    "serve.delay",
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,117 @@
+"""Thin stdlib client for a running ``repro serve`` daemon.
+
+Three call shapes, all blocking and all over plain HTTP/JSON:
+
+* :func:`query` — build a :class:`~repro.serve.schema.QueryRequest`
+  from keyword axes, POST it to ``/solve``, return the decoded result
+  payload (raising :class:`~repro.errors.ServeError` on any non-200).
+* :func:`stats` / :func:`healthz` — the observability endpoints.
+* :func:`request` — the raw primitive under all of the above: one
+  ``(method, path, body)`` exchange returning ``(status, payload)``
+  without interpreting the status, for callers (tests, the CLI's
+  ``--stats`` mode) that want rejections as data rather than
+  exceptions.
+
+Connections are per-call (open, exchange, close): the daemon's
+concurrency story lives in its admission queue, so client-side
+keep-alive would buy latency only to complicate error handling.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+
+from repro.errors import ServeError
+
+#: Generous default: a cold first query samples RR sets from scratch.
+DEFAULT_TIMEOUT_S = 300.0
+
+
+def _split_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; tolerates an ``http://`` prefix."""
+    addr = addr.strip()
+    for prefix in ("http://", "https://"):
+        if addr.startswith(prefix):
+            addr = addr[len(prefix) :]
+    addr = addr.rstrip("/")
+    host, sep, port = addr.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServeError(f"address must look like 'host:port', got {addr!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def request(
+    addr: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    method: str | None = None,
+    timeout: float = DEFAULT_TIMEOUT_S,
+) -> tuple[int, dict]:
+    """One HTTP exchange with the daemon; ``(status, decoded payload)``.
+
+    *method* defaults to ``POST`` when *body* is given, else ``GET``.
+    Transport-level failures (refused connection, timeout, non-JSON
+    reply) raise :class:`ServeError`; HTTP-level rejections (429, 503,
+    …) are returned as data — admission outcomes are part of the
+    service's interface, not client errors.
+    """
+    host, port = _split_addr(addr)
+    method = method or ("POST" if body is not None else "GET")
+    payload = None if body is None else json.dumps(body).encode("utf-8")
+    conn = HTTPConnection(host, port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"non-JSON response from {addr}{path} "
+                f"(status {response.status}): {raw[:200]!r}"
+            ) from exc
+        return response.status, decoded
+    except (OSError, HTTPException) as exc:
+        raise ServeError(f"cannot reach repro-serve at {addr}: {exc}") from exc
+    finally:
+        conn.close()
+
+
+def query(addr: str, *, timeout: float = DEFAULT_TIMEOUT_S, **axes) -> dict:
+    """Solve one allocation query against the daemon at *addr*.
+
+    *axes* are :class:`~repro.serve.schema.QueryRequest` fields
+    (``dataset`` is required; ``algorithm``, ``budget``, ``h``, ``cpe``,
+    ``incentive_model``, ``alpha``, ``window``, ``seed`` optional).
+    Returns the result payload on 200; raises :class:`ServeError`
+    carrying the server's error type and message otherwise.
+    """
+    from repro.serve.schema import QueryRequest
+
+    body = QueryRequest.from_dict(dict(axes)).to_dict()  # fail fast, client-side
+    status, payload = request(addr, "/solve", body, timeout=timeout)
+    if status != 200:
+        raise ServeError(
+            f"query rejected ({status} {payload.get('error_type', '?')}): "
+            f"{payload.get('error', payload)}"
+        )
+    return payload
+
+
+def stats(addr: str, *, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    """The daemon's ``/stats`` payload (serve counters + pool/session stats)."""
+    status, payload = request(addr, "/stats", timeout=timeout)
+    if status != 200:
+        raise ServeError(f"/stats failed ({status}): {payload}")
+    return payload
+
+
+def healthz(addr: str, *, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    """The daemon's ``/healthz`` payload (liveness + admission posture)."""
+    status, payload = request(addr, "/healthz", timeout=timeout)
+    if status != 200:
+        raise ServeError(f"/healthz failed ({status}): {payload}")
+    return payload

@@ -129,10 +129,26 @@ class TestSessionSemantics:
         inst = make_tiny_instance()
         session = AllocationSession.for_instance(inst, spec=SPEC)
         session.solve(inst)
+        assert session.is_closed is False
         session.close()
         session.close()  # idempotent
+        assert session.is_closed is True
         with pytest.raises(AllocationError, match="closed"):
             session.solve(inst)
+
+    def test_stats_json_serializable(self):
+        """Satellite: session.stats feeds the serve layer's /stats
+        endpoint verbatim, so every value must survive json.dumps
+        (numpy scalars would not)."""
+        import json
+
+        inst = make_tiny_instance()
+        with AllocationSession(inst.graph, spec=SPEC) as session:
+            session.solve(inst)
+            stats = json.loads(json.dumps(session.stats))
+        assert stats["solves"] == 1
+        assert stats["store_bytes"] >= 0
+        assert isinstance(stats["pool_active"], bool)
 
     def test_backend_pinned_by_session(self):
         inst = make_tiny_instance()

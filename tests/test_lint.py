@@ -201,6 +201,51 @@ def test_r3_accepts_finally_with_and_finalize(tmp_path):
     assert "R3" not in rule_ids(findings)
 
 
+def test_r3_flags_unreleased_socket_and_http_server(tmp_path):
+    """Satellite: the serving layer's resources are lifecycle-checked —
+    a bare socket or ThreadingHTTPServer with no visible release leaks
+    the port past the daemon's lifetime."""
+    findings = lint_source(
+        tmp_path,
+        "import socket\n"
+        "from http.server import ThreadingHTTPServer, BaseHTTPRequestHandler\n"
+        "def leak_socket():\n"
+        "    s = socket.socket()\n"
+        "    s.bind(('127.0.0.1', 0))\n"
+        "    return s.getsockname()\n"
+        "def leak_server():\n"
+        "    httpd = ThreadingHTTPServer(('127.0.0.1', 0), BaseHTTPRequestHandler)\n"
+        "    httpd.serve_forever()\n",
+    )
+    r3 = [f for f in findings if f.rule == "R3"]
+    assert len(r3) == 2
+
+
+def test_r3_accepts_managed_socket_and_http_server(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "import socket\n"
+        "from http.server import ThreadingHTTPServer, BaseHTTPRequestHandler\n"
+        "def with_socket():\n"
+        "    with socket.socket() as s:\n"
+        "        s.bind(('127.0.0.1', 0))\n"
+        "        return s.getsockname()\n"
+        "def finally_server():\n"
+        "    httpd = ThreadingHTTPServer(('127.0.0.1', 0), BaseHTTPRequestHandler)\n"
+        "    try:\n"
+        "        httpd.handle_request()\n"
+        "    finally:\n"
+        "        httpd.server_close()\n"
+        "class Daemon:\n"
+        "    def __init__(self):\n"
+        "        self.httpd = ThreadingHTTPServer(\n"
+        "            ('127.0.0.1', 0), BaseHTTPRequestHandler)\n"
+        "    def close(self):\n"
+        "        self.httpd.server_close()\n",
+    )
+    assert "R3" not in rule_ids(findings)
+
+
 # ---------------------------------------------------------------- R4
 
 

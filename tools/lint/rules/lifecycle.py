@@ -1,6 +1,7 @@
-"""R3 — resource lifecycle: shm/memmap/tempfile handles must be paired.
+"""R3 — resource lifecycle: shm/memmap/tempfile/socket handles must be paired.
 
-``SharedMemory`` segments, spill-file ``np.memmap``s and tempfiles are
+``SharedMemory`` segments, spill-file ``np.memmap``s, tempfiles — and,
+since the serving layer, raw sockets and stdlib HTTP/TCP servers — are
 the resources PR 6/7 taught this repo to reap after crashes; a creation
 site with no statically visible release is a leak waiting for the next
 refactor.  A creation call is accepted when any of these holds:
@@ -32,9 +33,19 @@ CREATORS = {
     "tempfile.NamedTemporaryFile": "NamedTemporaryFile",
     "tempfile.mkstemp": "mkstemp temp file",
     "tempfile.TemporaryFile": "TemporaryFile",
+    # Serving-layer resources: a leaked listener keeps the port bound
+    # (and its accept threads alive) long after the daemon "stopped".
+    "socket.socket": "socket",
+    "socket.create_connection": "socket connection",
+    "http.server.HTTPServer": "HTTPServer listener",
+    "http.server.ThreadingHTTPServer": "ThreadingHTTPServer listener",
+    "socketserver.TCPServer": "TCPServer listener",
+    "socketserver.ThreadingTCPServer": "ThreadingTCPServer listener",
 }
 
-RELEASE_ATTRS = frozenset({"close", "unlink", "terminate", "shutdown", "cleanup"})
+RELEASE_ATTRS = frozenset(
+    {"close", "unlink", "terminate", "shutdown", "cleanup", "server_close"}
+)
 RELEASE_CANONICAL = frozenset({"os.close", "os.unlink", "os.remove"})
 
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Serving-layer smoke run for CI (next to the serve test suite).
+
+Boots a real ``python -m repro serve`` daemon process on the committed
+``specs/smoke.json`` dataset/config, then asserts the service contract
+end to end from outside the process:
+
+1. the daemon prints its listen address and answers ``/healthz``;
+2. a scripted query burst (both smoke algorithms, repeated) succeeds,
+   repeats are byte-identical to their first responses, and ``/stats``
+   shows the repeats were served warm off one pooled session;
+3. ``SIGTERM`` drains cleanly: the process exits 0, prints its drain
+   summary, and leaves no shared-memory segments behind.
+
+Usage: ``python tools/serve_smoke.py [repo_root]`` — the script puts
+``<root>/src`` on ``sys.path`` itself and passes it to the daemon, so
+no environment setup is needed.  Exit code is non-zero on any violated
+invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+ROOT = (
+    Path(sys.argv[1]).resolve()
+    if len(sys.argv) > 1
+    else Path(__file__).resolve().parents[1]
+)
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve import client as serve_client  # noqa: E402
+
+BOOT_TIMEOUT_S = 60
+DRAIN_TIMEOUT_S = 60
+
+
+def fail(message: str) -> None:
+    print(f"serve smoke FAILED: {message}")
+    sys.exit(1)
+
+
+def comparable(payload: dict) -> dict:
+    return {k: v for k, v in payload.items() if k not in ("runtime_s", "serve")}
+
+
+def shm_segments() -> set:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # non-Linux: nothing to check
+        return set()
+    return {p.name for p in shm.iterdir()}
+
+
+def main() -> None:
+    spec = json.loads((ROOT / "specs" / "smoke.json").read_text())
+    (entry,) = spec["datasets"]
+    config = spec["config"]
+    before_shm = shm_segments()
+
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--eps", str(config["eps"]),
+            "--theta-cap", str(config["theta_cap"]),
+            "--seed", str(spec["seed"]),
+        ],
+        cwd=str(ROOT),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    watchdog = threading.Timer(BOOT_TIMEOUT_S + DRAIN_TIMEOUT_S + 120, proc.kill)
+    watchdog.start()
+    try:
+        line = proc.stdout.readline().strip()
+        if "listening on" not in line:
+            proc.kill()
+            fail(f"expected a listen line, got {line!r}")
+        addr = line.rsplit(" ", 1)[-1]
+        print(f"# daemon up at {addr}")
+
+        health = serve_client.healthz(addr)
+        if health["status"] != "ok":
+            fail(f"unexpected /healthz: {health}")
+
+        # Scripted burst: every smoke algorithm twice, same seed — the
+        # second pass must ride the warm session bit-identically.
+        first_pass: dict[str, dict] = {}
+        for algorithm in spec["algorithms"]:
+            first_pass[algorithm] = serve_client.query(
+                addr, dataset=dict(entry), algorithm=algorithm, seed=spec["seed"]
+            )
+        for algorithm in spec["algorithms"]:
+            repeat = serve_client.query(
+                addr, dataset=dict(entry), algorithm=algorithm, seed=spec["seed"]
+            )
+            if not repeat["serve"]["warm_session"]:
+                fail(f"repeat of {algorithm} was not served warm")
+            if comparable(repeat) != comparable(first_pass[algorithm]):
+                fail(f"repeat of {algorithm} diverged from its first response")
+
+        stats = serve_client.stats(addr)
+        expected_warm = 2 * len(spec["algorithms"]) - 1  # one cold miss total
+        if stats["pool"]["warm_hits"] != expected_warm:
+            fail(
+                f"expected {expected_warm} warm hits, /stats says "
+                f"{stats['pool']['warm_hits']}"
+            )
+        if stats["pool"]["session_count"] != 1:
+            fail(f"expected one pooled session: {stats['pool']['session_count']}")
+        if stats["serve"]["solve_errors"] or stats["serve"]["admission_rejects"]:
+            fail(f"burst hit errors/rejects: {stats['serve']}")
+        print(
+            f"# burst ok: served={stats['serve']['queries_served']} "
+            f"warm_hits={stats['pool']['warm_hits']}"
+        )
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = proc.communicate(timeout=DRAIN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("daemon did not drain within the timeout after SIGTERM")
+        if proc.returncode != 0:
+            fail(f"daemon exited {proc.returncode} after SIGTERM:\n{out}")
+        if "# drained:" not in out:
+            fail(f"no drain summary in daemon output:\n{out}")
+        leaked = shm_segments() - before_shm
+        if leaked:
+            fail(f"shared-memory segments leaked past drain: {sorted(leaked)}")
+        print(f"# drain ok: exit={proc.returncode}")
+    finally:
+        watchdog.cancel()
+        if proc.poll() is None:
+            proc.kill()
+    print("serve smoke PASSED")
+
+
+if __name__ == "__main__":
+    main()
