@@ -39,14 +39,25 @@ really skipped sampling.
 
 from __future__ import annotations
 
-from repro.errors import AllocationError
+import time
+
+import numpy as np
+
+from repro import faults as _faults
+from repro.errors import AllocationError, WorkerCrashError
 from repro.api.spec import EngineSpec
 from repro.api.registry import AlgorithmDef
 from repro.core.allocation import AllocationResult
 from repro.core.instance import RMInstance
 from repro.core.ti_engine import EngineWarmState
 from repro.graph.digraph import DiGraph
-from repro.rrset.backend import SamplerBackend
+from repro.graph.updates import compile_updates, normalize_updates
+from repro.rrset.backend import (
+    SamplerBackend,
+    SharedGraphPool,
+    make_backend,
+    resolve_backend,
+)
 
 
 class _CountingBackend(SamplerBackend):
@@ -58,10 +69,10 @@ class _CountingBackend(SamplerBackend):
         self.graph = inner.graph
         self.probs = inner.probs
 
-    def sample_batch_flat(self, count: int, rng=None):
+    def sample_batch_flat(self, count: int, rng=None, *, roots=None):
         self._stats["sample_batches"] += 1
         self._stats["sets_sampled"] += int(count)
-        return self._inner.sample_batch_flat(count, rng)
+        return self._inner.sample_batch_flat(count, rng, roots=roots)
 
     @property
     def degraded(self) -> bool:
@@ -96,7 +107,19 @@ class AllocationSession:
         self.spec = spec or EngineSpec()
         self._warm = EngineWarmState()
         self._closed = False
-        self._stats = {"solves": 0, "sample_batches": 0, "sets_sampled": 0}
+        #: Monotone mutation counter: 0 for a session still on the graph
+        #: it was opened with, +1 per :meth:`apply_edge_updates` batch.
+        #: Pool owners (``repro serve``) use it to detect stale sessions.
+        self.graph_epoch = 0
+        self._stats = {
+            "solves": 0,
+            "sample_batches": 0,
+            "sets_sampled": 0,
+            "mutations": 0,
+            "invalidated_sets": 0,
+            "mutation_checked_sets": 0,
+            "resample_batches": 0,
+        }
         self._warm.wrap_sampler = lambda sampler: _CountingBackend(
             sampler, self._stats
         )
@@ -139,6 +162,152 @@ class AllocationSession:
             session=self,
             **overrides,
         )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (docs/ARCHITECTURE.md §14)
+    # ------------------------------------------------------------------
+    def apply_edge_updates(self, updates) -> dict:
+        """Mutate the session's graph in place of a cold restart.
+
+        *updates* is one timestamped batch of edge insertions, deletions
+        and probability changes (anything
+        :func:`repro.graph.updates.normalize_updates` accepts).  The
+        session compiles them into a new immutable
+        :class:`~repro.graph.digraph.DiGraph`, then repairs every warm
+        RR store *incrementally*:
+
+        * **Invalidation is edge-precise.**  The level-synchronous
+          reverse BFS flips coins on exactly the in-arcs of a set's
+          members, so the sets whose recorded traversal could have
+          touched a changed edge ``u → v`` are exactly
+          ``sets_containing(v)`` — the store's membership CSR *is* the
+          per-set touched-edge record, and
+          :meth:`~repro.rrset.collection.SharedRRStore.sets_touching`
+          over the changed heads recovers the invalid ids without any
+          extra bookkeeping.  For a ``set_prob`` whose family value did
+          not actually move, nothing is invalidated.
+        * **Resampling is root-preserving.**  Each invalidated slot is
+          redrawn on the new graph from its recorded root (the pinned
+          ``roots`` path through the kernel seam), continuing the
+          store's persisted RNG stream; surviving slots are untouched.
+          The root marginal therefore stays exactly uniform, and
+          survivors are exact draws from the new RR distribution (their
+          traversals flipped no changed coin).  For pure
+          probability-*decrease* batches the surviving slots are
+          bit-identical in membership to a same-seed cold store on the
+          pre-update graph — the differential tests pin both claims.
+        * **Everything graph-shaped rolls over.**  The worker pool
+          (whose shared-memory CSR describes the old graph) is closed
+          and rebuilt, per-family samplers are rebuilt on the new
+          graph, KPT estimators and pagerank orders are dropped, and
+          stores are re-keyed by their updated probability vectors.
+
+        Returns a JSON-able report (update counts, per-batch
+        invalidation, resample provenance); cumulative counters appear
+        in :attr:`stats` and :attr:`graph_epoch` increments by one.
+        Instances built on the pre-mutation graph are rejected by later
+        :meth:`solve` calls — rebuild them on :attr:`graph`.
+        """
+        if self._closed:
+            raise AllocationError("session is closed")
+        batch = normalize_updates(updates)
+        plan = compile_updates(self.graph, batch)
+        warm = self._warm
+        backend, workers = resolve_backend(
+            self.spec.sampler_backend, self.spec.workers
+        )
+
+        # The old pool's shared-memory CSR blocks describe the old
+        # graph; nothing on the new graph can reuse them.
+        if warm.pool is not None:
+            warm.pool.close()
+            warm.pool = None
+        if (
+            backend == "parallel"
+            and (workers or 0) > 1
+            and warm.stores
+            and not warm.pool_failed
+        ):
+            try:
+                warm.pool = SharedGraphPool(
+                    plan.new_graph,
+                    workers,
+                    counters=warm.counters,
+                    kernel=self.spec.kernel,
+                )
+            except WorkerCrashError:
+                warm.pool_failed = True
+                warm.counters["pool_degraded"] += 1
+
+        checked = 0
+        invalidated = 0
+        resample_batches = 0
+        new_stores: dict[bytes, object] = {}
+        for key, group in warm.stores.items():
+            old_probs = np.frombuffer(key, dtype=np.float64)
+            new_probs = plan.apply_probs(old_probs)
+            heads = plan.changed_heads(old_probs)
+            invalid = group.store.sets_touching(heads)
+            roots = group.store.roots()[invalid] if invalid.size else None
+            checked += int(group.store.size)
+            invalidated += int(invalid.size)
+            group.sampler.close()
+            sampler = make_backend(
+                plan.new_graph,
+                new_probs,
+                backend,
+                workers=workers,
+                pool=warm.pool,
+                counters=warm.counters,
+                degraded=warm.pool_failed,
+                kernel=self.spec.kernel,
+            )
+            if warm.wrap_sampler is not None:
+                sampler = warm.wrap_sampler(sampler)
+            group.sampler = sampler
+            # Cached KPT bounds and widths were measured on the old
+            # graph; the next solve rebuilds them (same RNG stream).
+            group.kpt = None
+            group.kpt_params = None
+            if invalid.size:
+                rule = _faults.fire("mutate.delay")
+                if rule is not None:
+                    time.sleep(float(rule.delay_s))
+                members, indptr = sampler.sample_batch_flat(
+                    int(invalid.size), group.rng, roots=roots
+                )
+                group.store.replace_sets(invalid, members, indptr)
+                resample_batches += 1
+            new_key = new_probs.tobytes()
+            if new_key in new_stores:
+                # Two probability families collapsed onto one vector
+                # (a set_prob made them identical): keep the first —
+                # iteration order is insertion order, so this is
+                # deterministic — and drop the duplicate.
+                sampler.close()
+                group.store.close()
+            else:
+                new_stores[new_key] = group
+        warm.stores.clear()
+        warm.stores.update(new_stores)
+        warm.pagerank_orders.clear()
+        self.graph = plan.new_graph
+        self.graph_epoch += 1
+        self._stats["mutations"] += 1
+        self._stats["invalidated_sets"] += invalidated
+        self._stats["mutation_checked_sets"] += checked
+        self._stats["resample_batches"] += resample_batches
+        return {
+            "graph_epoch": int(self.graph_epoch),
+            **plan.summary(),
+            "checked_sets": checked,
+            "invalidated_sets": invalidated,
+            "invalidation_rate": (
+                invalidated / checked if checked else 0.0
+            ),
+            "resample_batches": resample_batches,
+            "stores": len(warm.stores),
+        }
 
     # -- hooks used by repro.api.solve ---------------------------------
     def _warm_state_for(self, instance: RMInstance) -> EngineWarmState:
@@ -221,9 +390,16 @@ class AllocationSession:
         # /stats endpoint and the grid manifest serialize this dict with
         # json.dumps, which rejects numpy scalars (store sizes arrive as
         # np.int64 from array bookkeeping).
+        checked = self._stats["mutation_checked_sets"]
         return {
             **{key: int(value) for key, value in self._stats.items()},
             **{key: int(value) for key, value in self._warm.counters.items()},
+            # Incremental-maintenance provenance (§14): cumulative
+            # fraction of checked sets that mutations invalidated.
+            "invalidation_rate": float(
+                self._stats["invalidated_sets"] / checked if checked else 0.0
+            ),
+            "graph_epoch": int(self.graph_epoch),
             "stores": len(stores),
             "stored_sets": stored_sets,
             "stored_members": int(sum(int(g.store.member_total) for g in stores)),

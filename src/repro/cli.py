@@ -228,11 +228,19 @@ def cmd_grid(args) -> int:
                 return
             line = prefix + f"alpha={row['alpha']} -> revenue={row['revenue']:.1f}"
             session = row.get("session")
-            if session is not None:
+            if session is not None and "group" in session:
                 line += (
                     f" [session {session['group']}"
                     f" solve={session['solve_index']}"
                     f" sampled={session['sets_sampled']}]"
+                )
+            elif session is not None:
+                # Dynamic cells (spec "mutations" block) run a private
+                # incrementally-maintained session instead of a group.
+                line += (
+                    f" [dynamic invalidated={session['invalidated_sets']}"
+                    f" rate={session['invalidation_rate']:.3f}"
+                    f" resamples={session['resample_batches']}]"
                 )
             print(line)
 

@@ -36,6 +36,7 @@ from repro.errors import InstanceError
 from repro.core.ads import Advertiser
 from repro.core.instance import RMInstance
 from repro.diffusion.simulate import simulate_cascade
+from repro.graph.updates import compile_updates
 
 
 @dataclass
@@ -59,6 +60,10 @@ class CampaignResult:
     """Aggregate of an adaptive campaign."""
 
     windows: list[WindowOutcome] = field(default_factory=list)
+    #: One JSON-able report per edge-update batch applied between
+    #: windows (empty for a static campaign); warm campaigns carry the
+    #: session's incremental-invalidation provenance here.
+    mutations: list[dict] = field(default_factory=list)
 
     @property
     def total_revenue(self) -> float:
@@ -107,6 +112,20 @@ class AdaptiveCampaign:
         change).  Warm solves store samples in shared prob-keyed
         stores, so plans differ from — but are statistically equivalent
         to — the cold per-window planner.
+    edge_updates:
+        Optional dynamic-graph schedule: ``edge_updates[k]`` is the
+        edge-update batch (anything
+        :func:`repro.graph.updates.normalize_updates` accepts) applied
+        *after* window ``k`` realizes and before window ``k+1`` plans —
+        the streaming setting of docs/ARCHITECTURE.md §14.  With
+        ``reuse_samples`` the session repairs its warm RR stores
+        incrementally via
+        :meth:`~repro.api.session.AllocationSession.apply_edge_updates`;
+        cold campaigns recompile the graph and probability vectors from
+        scratch.  Both legs remap every ad's probabilities through the
+        same deterministic :class:`~repro.graph.updates.UpdatePlan`, so
+        they plan over identical post-update markets.  Per-batch
+        reports land in :attr:`CampaignResult.mutations`.
     """
 
     def __init__(
@@ -119,6 +138,7 @@ class AdaptiveCampaign:
         algorithm: str = "TI-CSRM",
         spec=None,
         reuse_samples: bool = False,
+        edge_updates=None,
     ) -> None:
         if n_windows < 1:
             raise InstanceError(f"n_windows must be >= 1, got {n_windows}")
@@ -132,6 +152,15 @@ class AdaptiveCampaign:
         self.algorithm = algorithm
         self.spec = spec
         self.reuse_samples = bool(reuse_samples)
+        self.edge_updates = (
+            [] if edge_updates is None else [list(batch or []) for batch in edge_updates]
+        )
+        if len(self.edge_updates) > max(self.n_windows - 1, 0):
+            raise InstanceError(
+                f"edge_updates has {len(self.edge_updates)} batches but a "
+                f"{self.n_windows}-window campaign has only "
+                f"{max(self.n_windows - 1, 0)} between-window boundaries"
+            )
 
     def _planner_spec(self):
         from repro.api.spec import EngineSpec
@@ -147,12 +176,14 @@ class AdaptiveCampaign:
 
         inst = self.instance
         h, n = inst.h, inst.n
+        graph = inst.graph
+        probs = [np.asarray(p, dtype=np.float64) for p in inst.ad_probs]
         remaining = [inst.budget(i) for i in range(h)]
         frozen = np.zeros(n, dtype=bool)  # engaged-or-seeded users
         result = CampaignResult()
         spec = self._planner_spec()
         session = (
-            AllocationSession(inst.graph, spec=spec) if self.reuse_samples else None
+            AllocationSession(graph, spec=spec) if self.reuse_samples else None
         )
 
         try:
@@ -162,7 +193,7 @@ class AdaptiveCampaign:
                     rem if self.budget_split == "all" else max(rem / windows_left, 1e-9)
                     for rem in remaining
                 ]
-                built = self._window_instance(planned_budgets, frozen)
+                built = self._window_instance(planned_budgets, frozen, graph, probs)
                 if built is None:
                     break
                 sub, sub_to_original = built
@@ -183,17 +214,40 @@ class AdaptiveCampaign:
                     sub_to_original,
                     frozen,
                     remaining,
+                    graph,
+                    probs,
                 )
                 result.windows.append(outcome)
                 if all(rem <= 1e-9 for rem in remaining):
                     break
+                if window < len(self.edge_updates) and self.edge_updates[window]:
+                    # The streaming boundary: mutate the graph before the
+                    # next window plans.  Both legs remap probabilities
+                    # through the same deterministic plan; the warm leg
+                    # additionally repairs its RR stores incrementally.
+                    batch = self.edge_updates[window]
+                    update_plan = compile_updates(graph, batch)
+                    if session is not None:
+                        report = session.apply_edge_updates(batch)
+                        graph = session.graph
+                    else:
+                        graph = update_plan.new_graph
+                        report = {**update_plan.summary(), "mode": "cold"}
+                    probs = [update_plan.apply_probs(p) for p in probs]
+                    result.mutations.append(report)
         finally:
             if session is not None:
                 session.close()
         return result
 
     # ------------------------------------------------------------------
-    def _window_instance(self, budgets: list[float], frozen: np.ndarray):
+    def _window_instance(
+        self,
+        budgets: list[float],
+        frozen: np.ndarray,
+        graph=None,
+        probs=None,
+    ):
         """The remaining-market instance: frozen users are priced out.
 
         Frozen users are excluded from seeding via the planner's
@@ -204,8 +258,12 @@ class AdaptiveCampaign:
         sub_to_original)`` or ``None`` when no ad can still participate.
         """
         inst = self.instance
+        if graph is None:
+            graph = inst.graph
+        if probs is None:
+            probs = inst.ad_probs
         advertisers = []
-        probs = []
+        sub_probs = []
         incentives = []
         sub_to_original: list[int] = []
         unfrozen = ~frozen
@@ -224,12 +282,12 @@ class AdaptiveCampaign:
                     name=f"ad-{i}",
                 )
             )
-            probs.append(inst.ad_probs[i])
+            sub_probs.append(probs[i])
             incentives.append(cost)
             sub_to_original.append(i)
         if not advertisers:
             return None
-        sub = RMInstance(inst.graph, advertisers, probs, incentives)
+        sub = RMInstance(graph, advertisers, sub_probs, incentives)
         return sub, sub_to_original
 
     def _realize(
@@ -239,9 +297,15 @@ class AdaptiveCampaign:
         sub_to_original: list[int],
         frozen: np.ndarray,
         remaining: list[float],
+        graph=None,
+        probs=None,
     ) -> WindowOutcome:
         """Simulate the window's cascades and settle payments."""
         inst = self.instance
+        if graph is None:
+            graph = inst.graph
+        if probs is None:
+            probs = inst.ad_probs
         h = inst.h
         seeds_per_ad: list[list[int]] = [[] for _ in range(h)]
         engagements = [0] * h
@@ -253,7 +317,7 @@ class AdaptiveCampaign:
             seeds = seeds_per_ad[i]
             if not seeds:
                 continue
-            active = simulate_cascade(inst.graph, inst.ad_probs[i], seeds, self.rng)
+            active = simulate_cascade(graph, probs[i], seeds, self.rng)
             # Frozen users never re-engage.
             active &= ~frozen
             count = int(active.sum())
@@ -290,6 +354,7 @@ def run_adaptive_campaign(
     algorithm: str = "TI-CSRM",
     spec=None,
     reuse_samples: bool = False,
+    edge_updates=None,
 ) -> CampaignResult:
     """Convenience wrapper around :class:`AdaptiveCampaign`."""
     campaign = AdaptiveCampaign(
@@ -301,5 +366,6 @@ def run_adaptive_campaign(
         algorithm=algorithm,
         spec=spec,
         reuse_samples=reuse_samples,
+        edge_updates=edge_updates,
     )
     return campaign.run()

@@ -15,6 +15,13 @@ class GraphError(ReproError):
     """Raised for malformed graph construction or invalid node/edge ids."""
 
 
+class GraphUpdateError(GraphError):
+    """Raised for invalid edge-update batches: unknown ops, updates that
+    target a missing edge (delete/set_prob), insertions of an edge that
+    already exists, conflicting updates to one edge inside a batch, or
+    endpoints/probabilities outside their domain."""
+
+
 class TopicModelError(ReproError):
     """Raised for invalid topic distributions or probability tensors."""
 

@@ -80,8 +80,14 @@ import numpy as np
 
 from repro import faults as _faults
 from repro.errors import CellTimeoutError, FaultInjectedError, SpecError
-from repro.api.registry import algorithm_names
+from repro.api.registry import algorithm_names, get_algorithm
 from repro.api.session import AllocationSession
+from repro.core.instance import RMInstance
+from repro.graph.updates import (
+    UPDATE_OPS,
+    compile_updates,
+    random_update_schedule,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import (
     Dataset,
@@ -189,6 +195,13 @@ class GridSpec:
     seed: int = 7
     config: dict = field(default_factory=dict)
     execution: dict = field(default_factory=dict)
+    #: Streaming axis (docs/ARCHITECTURE.md §14): a non-empty block
+    #: (``batches`` / ``edges_per_batch`` / ``ops`` / ``prob``) turns
+    #: every cell dynamic — a deterministic edge-update schedule keyed
+    #: off the per-cell seed mutates the graph before the measured
+    #: solve.  Unlike ``execution`` it changes *what* cells compute, so
+    #: a non-empty block enters :meth:`spec_key`.
+    mutations: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if not isinstance(self.execution, dict):
@@ -249,6 +262,46 @@ class GridSpec:
         unknown = set(self.config) - {f.name for f in _config_fields()}
         if unknown:
             raise SpecError(f"unknown config keys: {sorted(unknown)}")
+        if not isinstance(self.mutations, dict):
+            raise SpecError(
+                'mutations must be an object like {"batches": 2, '
+                f'"edges_per_batch": 10}}, got {self.mutations!r}'
+            )
+        if self.mutations:
+            unknown = set(self.mutations) - {
+                "batches", "edges_per_batch", "ops", "prob"
+            }
+            if unknown:
+                raise SpecError(f"unknown mutations keys: {sorted(unknown)}")
+            batches = self.mutations.get("batches", 1)
+            edges = self.mutations.get("edges_per_batch", 1)
+            for label, value in (("batches", batches), ("edges_per_batch", edges)):
+                if not isinstance(value, int) or value < 1:
+                    raise SpecError(
+                        f"mutations.{label} must be a positive integer, "
+                        f"got {value!r}"
+                    )
+            ops = tuple(self.mutations.get("ops", UPDATE_OPS))
+            if not ops or any(op not in UPDATE_OPS for op in ops):
+                raise SpecError(
+                    f"mutations.ops must be a non-empty subset of "
+                    f"{list(UPDATE_OPS)}, got {list(ops)}"
+                )
+            prob = self.mutations.get("prob", 0.1)
+            if not isinstance(prob, (int, float)) or not 0.0 <= prob <= 1.0:
+                raise SpecError(
+                    f"mutations.prob must be a number in [0, 1], got {prob!r}"
+                )
+            object.__setattr__(
+                self,
+                "mutations",
+                {
+                    "batches": batches,
+                    "edges_per_batch": edges,
+                    "ops": list(ops),
+                    "prob": float(prob),
+                },
+            )
 
     # ------------------------------------------------------------------
     # Construction / serialization
@@ -319,6 +372,12 @@ class GridSpec:
         data["datasets"] = [dict(entry) for entry in self.datasets]
         if data["execution"] == {"mode": "cold"}:
             del data["execution"]
+        # An empty mutations block (the static default) is omitted the
+        # same way, keeping pre-dynamic spec keys byte-identical; a
+        # non-empty block stays — it changes every cell's result, so it
+        # must enter spec_key().
+        if not data["mutations"]:
+            del data["mutations"]
         return data
 
     def spec_key(self) -> str:
@@ -610,6 +669,142 @@ def _run_warm_cell(
     return row
 
 
+def cell_update_schedule(spec: GridSpec, cell: GridCell, graph) -> list:
+    """The cell's deterministic edge-update schedule (empty when static).
+
+    A pure function of ``(spec.mutations, cell seed, graph)`` — batch
+    ``k`` is generated against the graph as already evolved by batches
+    ``0..k-1`` — so every run (and both execution modes, and the
+    differential tests) replays the exact same mutation stream.
+    """
+    mut = spec.mutations
+    if not mut:
+        return []
+    return random_update_schedule(
+        graph,
+        cell.seed(spec.seed),
+        batches=mut["batches"],
+        edges_per_batch=mut["edges_per_batch"],
+        ops=tuple(mut["ops"]),
+        prob=mut["prob"],
+    )
+
+
+def _run_dynamic_cell(
+    spec: GridSpec,
+    cell: GridCell,
+    config: ExperimentConfig,
+    *,
+    memo: dict | None,
+    warm: bool,
+) -> dict:
+    """Run one *dynamic* cell: mutate the graph, solve the final market.
+
+    The measured solve runs on the graph after the cell's full
+    :func:`cell_update_schedule`:
+
+    * cold mode recompiles the schedule into a fresh graph and
+      probability vectors and solves from scratch — the differential
+      baseline;
+    * warm mode opens a *private* session (never a shared group session
+      — mutating one would poison every later cell of the group),
+      primes its RR stores with a solve on the pre-mutation graph, then
+      applies each batch through
+      :meth:`~repro.api.session.AllocationSession.apply_edge_updates`
+      so the measured solve reuses every surviving RR set.  The row's
+      ``mutations`` block carries the per-batch invalidation reports
+      and the session's cumulative ``invalidated_sets`` /
+      ``invalidation_rate`` / ``resample_batches`` counters.
+
+    Dynamic cells price ``OPT_s`` with KPT on the post-update graph:
+    the dataset's precomputed singleton bounds describe the
+    pre-mutation graph and could exceed true post-deletion spreads.
+    """
+    from repro.api.solve import solve
+
+    dataset = _cell_dataset(cell.dataset, memo)
+    instance = dataset.build_instance(
+        incentive_model=cell.incentive_model,
+        alpha=cell.alpha,
+        h=cell.h,
+        budget_override=cell.budget,
+        cpe_override=cell.cpe,
+    )
+    seed = cell.seed(spec.seed)
+    schedule = cell_update_schedule(spec, cell, dataset.graph)
+    engine_spec = config.engine_spec(
+        opt_lower="kpt", window=cell.window, seed=seed
+    )
+    definition = get_algorithm(cell.algorithm)
+    graph = dataset.graph
+    probs = [np.asarray(p, dtype=np.float64) for p in instance.ad_probs]
+    reports: list[dict] = []
+    session_block = None
+    if warm:
+        session = AllocationSession(graph, spec=config.engine_spec(opt_lower="kpt"))
+        try:
+            # Prime the warm stores on the pre-mutation graph, then
+            # maintain them incrementally through every batch.
+            session.solve(instance, definition, engine_spec)
+            for batch in schedule:
+                update_plan = compile_updates(graph, batch)
+                reports.append(session.apply_edge_updates(batch))
+                graph = session.graph
+                probs = [update_plan.apply_probs(p) for p in probs]
+            final = RMInstance(
+                graph, instance.advertisers, probs, instance.incentives
+            )
+            start = time.perf_counter()
+            result = session.solve(final, definition, engine_spec)
+            runtime = time.perf_counter() - start
+            stats = session.stats
+            session_block = {
+                key: stats[key]
+                for key in (
+                    "mutations",
+                    "invalidated_sets",
+                    "mutation_checked_sets",
+                    "invalidation_rate",
+                    "resample_batches",
+                    "graph_epoch",
+                    "sample_batches",
+                    "sets_sampled",
+                )
+            }
+        finally:
+            session.close()
+    else:
+        for batch in schedule:
+            update_plan = compile_updates(graph, batch)
+            graph = update_plan.new_graph
+            probs = [update_plan.apply_probs(p) for p in probs]
+            reports.append({**update_plan.summary(), "mode": "cold"})
+        final = RMInstance(
+            graph, instance.advertisers, probs, instance.incentives
+        )
+        start = time.perf_counter()
+        result = solve(final, definition, engine_spec)
+        runtime = time.perf_counter() - start
+    row = {"kind": "cell", "cell_id": cell.cell_id, "cell_seed": seed}
+    row.update(cell.params())
+    row.update(
+        revenue=result.total_revenue,
+        seed_cost=result.total_seeding_cost,
+        seeds=result.total_seeds,
+        runtime_s=runtime,
+        engine_spec=result.extras.get("engine_spec"),
+        memory=result.extras.get("memory"),
+    )
+    row["mutations"] = {
+        **spec.mutations,
+        "applied": reports,
+        "warm_incremental": warm,
+    }
+    if session_block is not None:
+        row["session"] = session_block
+    return row
+
+
 # ----------------------------------------------------------------------
 # Fault tolerance: per-cell timeout, retries, quarantine rows
 # ----------------------------------------------------------------------
@@ -700,7 +895,15 @@ def _run_cell_with_retries(
                     if rule is not None and rule.delay_s:
                         time.sleep(rule.delay_s)
                     plan.maybe_raise("cell.raise", key=cell.cell_id)
-                if warm:
+                if spec.mutations:
+                    # Dynamic cells never touch a shared group session
+                    # (mutating it would poison the group's later
+                    # cells); warm mode means "maintain a private
+                    # session incrementally" instead.
+                    row = _run_dynamic_cell(
+                        spec, cell, config, memo=memo, warm=warm
+                    )
+                elif warm:
                     row = _run_warm_cell(spec, cell, config, groups, memo)
                 else:
                     row = run_cell(spec, cell, config, dataset_memo=memo)

@@ -29,6 +29,11 @@ seam                    fired by
 ``serve.delay``         the serve solver loop just before a query
                         solves — the solver sleeps ``delay_s`` seconds
                         (backs the queue up / trips query deadlines).
+``mutate.delay``        :meth:`AllocationSession.apply_edge_updates`
+                        between invalidation and resampling — the
+                        session sleeps ``delay_s`` seconds with the
+                        store partially rewritten, widening the window
+                        chaos tests use to crash workers mid-mutation.
 ======================  ================================================
 
 Rules fire either on deterministic arrival ordinals (``at`` /
@@ -70,6 +75,7 @@ SEAMS = (
     "cell.delay",
     "serve.reject",
     "serve.delay",
+    "mutate.delay",
 )
 
 

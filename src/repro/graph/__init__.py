@@ -21,6 +21,14 @@ from repro.graph.io import (
     save_npz,
 )
 from repro.graph.pagerank import pagerank
+from repro.graph.updates import (
+    EdgeUpdate,
+    UpdatePlan,
+    compile_updates,
+    normalize_updates,
+    random_update_batch,
+    random_update_schedule,
+)
 from repro.graph.stats import GraphStats, compute_stats
 
 __all__ = [
@@ -41,6 +49,12 @@ __all__ = [
     "load_npz",
     "save_npz",
     "pagerank",
+    "EdgeUpdate",
+    "UpdatePlan",
+    "compile_updates",
+    "normalize_updates",
+    "random_update_batch",
+    "random_update_schedule",
     "GraphStats",
     "compute_stats",
 ]

@@ -1,0 +1,498 @@
+"""Timestamped edge-update batches over an immutable :class:`DiGraph`.
+
+:class:`~repro.graph.digraph.DiGraph` is immutable by design (dual-CSR
+arrays, canonical edge ids), so "mutating" a graph means compiling a
+batch of updates into a *new* graph plus the bookkeeping the warm-session
+layer needs to keep its RR stores correct (docs/ARCHITECTURE.md §14):
+
+* an **old→new canonical edge id map** so per-edge attribute arrays
+  (influence probabilities, above all) carry over without re-deriving
+  them from scratch;
+* a **probability transform** (:meth:`UpdatePlan.apply_probs`) applying
+  the kept-edge copy, inserted-edge fill and ``set_prob`` overrides to
+  any probability family over the old graph;
+* the **changed-edge heads** (:meth:`UpdatePlan.changed_heads`) — the
+  exact set of nodes whose in-arc coin flips an RR set must have made to
+  be affected by the batch, which is what
+  :meth:`repro.rrset.collection.SharedRRStore.sets_touching` consumes to
+  invalidate only the RR sets that could have observed a change.
+
+The three ops:
+
+``insert``
+    Add the arc ``tail -> head`` with probability ``prob`` (the value
+    every probability family gets for the new edge).  The arc must not
+    already exist.
+``delete``
+    Remove the existing arc ``tail -> head``; ``prob`` must be ``None``.
+``set_prob``
+    Re-weight the existing arc ``tail -> head`` to ``prob`` (applied
+    uniformly across probability families).  A family whose old value
+    already equals ``prob`` is untouched *for that family's
+    invalidation* — :meth:`UpdatePlan.changed_heads` refines per family.
+
+Updates carry an integer timestamp ``ts``; a batch is applied as one
+atomic transaction in ``ts`` order (stable for ties).  Two updates
+targeting the same ``(tail, head)`` arc within one batch are rejected —
+"insert then delete" style sequences belong in separate batches, where
+their intermediate states are observable.
+
+:func:`random_update_schedule` generates deterministic batch schedules
+from a seed — the grid runner's ``mutations`` block and the dynamic
+property tests both key their schedules off per-cell seeds through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.errors import GraphUpdateError
+from repro.graph.digraph import DiGraph
+
+#: The edge-update operations understood by :func:`compile_updates`.
+UPDATE_OPS = ("insert", "delete", "set_prob")
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One timestamped edge operation (see the module docstring)."""
+
+    op: str
+    tail: int
+    head: int
+    prob: float | None = None
+    ts: int = 0
+
+    def __post_init__(self):
+        if self.op not in UPDATE_OPS:
+            raise GraphUpdateError(
+                f"unknown edge-update op {self.op!r}; options: {UPDATE_OPS}"
+            )
+        object.__setattr__(self, "tail", int(self.tail))
+        object.__setattr__(self, "head", int(self.head))
+        object.__setattr__(self, "ts", int(self.ts))
+        if self.op == "delete":
+            if self.prob is not None:
+                raise GraphUpdateError(
+                    f"delete {self.tail}->{self.head} must not carry a prob"
+                )
+        else:
+            if self.prob is None:
+                raise GraphUpdateError(
+                    f"{self.op} {self.tail}->{self.head} needs a prob"
+                )
+            prob = float(self.prob)
+            if not 0.0 <= prob <= 1.0:
+                raise GraphUpdateError(
+                    f"{self.op} {self.tail}->{self.head}: prob must lie in "
+                    f"[0, 1], got {prob}"
+                )
+            object.__setattr__(self, "prob", prob)
+
+    def to_dict(self) -> dict:
+        """The update as a JSON-able dict (inverse of :func:`as_update`)."""
+        data = {"op": self.op, "tail": self.tail, "head": self.head, "ts": self.ts}
+        if self.prob is not None:
+            data["prob"] = self.prob
+        return data
+
+
+def as_update(item) -> EdgeUpdate:
+    """Coerce *item* (EdgeUpdate / mapping / op-tail-head[-prob] tuple)."""
+    if isinstance(item, EdgeUpdate):
+        return item
+    if isinstance(item, dict):
+        unknown = set(item) - {"op", "tail", "head", "prob", "ts"}
+        if unknown:
+            raise GraphUpdateError(
+                f"unknown edge-update keys: {sorted(unknown)}"
+            )
+        return EdgeUpdate(**item)
+    if isinstance(item, (tuple, list)) and len(item) in (3, 4):
+        op, tail, head = item[0], item[1], item[2]
+        prob = item[3] if len(item) == 4 else None
+        return EdgeUpdate(op=op, tail=tail, head=head, prob=prob)
+    raise GraphUpdateError(
+        f"cannot interpret {item!r} as an edge update; pass an EdgeUpdate, "
+        "a dict, or an (op, tail, head[, prob]) tuple"
+    )
+
+
+def normalize_updates(updates: Iterable) -> tuple[EdgeUpdate, ...]:
+    """Coerce and order a batch: stable sort by ``ts``, reject conflicts."""
+    batch = [as_update(item) for item in updates]
+    batch.sort(key=lambda update: update.ts)  # list.sort is stable
+    seen: dict[tuple[int, int], EdgeUpdate] = {}
+    for update in batch:
+        arc = (update.tail, update.head)
+        if arc in seen:
+            raise GraphUpdateError(
+                f"conflicting updates to arc {update.tail}->{update.head} "
+                f"in one batch ({seen[arc].op!r} then {update.op!r}); "
+                "split them into separate batches"
+            )
+        seen[arc] = update
+    return tuple(batch)
+
+
+class UpdatePlan:
+    """A compiled update batch: the new graph plus carry-over bookkeeping.
+
+    Built by :func:`compile_updates`; see the module docstring for the
+    contract each attribute serves.
+    """
+
+    __slots__ = (
+        "old_graph",
+        "new_graph",
+        "updates",
+        "edge_map",
+        "inserted_edge_ids",
+        "inserted_probs",
+        "_set_prob_old_ids",
+        "_set_prob_values",
+        "_structural_heads",
+    )
+
+    def __init__(
+        self,
+        old_graph: DiGraph,
+        new_graph: DiGraph,
+        updates: tuple[EdgeUpdate, ...],
+        edge_map: np.ndarray,
+        inserted_edge_ids: np.ndarray,
+        inserted_probs: np.ndarray,
+        set_prob_old_ids: np.ndarray,
+        set_prob_values: np.ndarray,
+        structural_heads: np.ndarray,
+    ) -> None:
+        self.old_graph = old_graph
+        self.new_graph = new_graph
+        self.updates = updates
+        #: ``edge_map[old_id]`` = new canonical id of a kept edge, -1 if deleted.
+        self.edge_map = edge_map
+        self.inserted_edge_ids = inserted_edge_ids
+        self.inserted_probs = inserted_probs
+        self._set_prob_old_ids = set_prob_old_ids
+        self._set_prob_values = set_prob_values
+        self._structural_heads = structural_heads
+
+    def apply_probs(self, old_probs: np.ndarray) -> np.ndarray:
+        """Transform one probability family from the old graph to the new.
+
+        Kept edges copy through :attr:`edge_map`; inserted edges take the
+        insert's ``prob``; ``set_prob`` targets take the override — all
+        uniformly across families (the documented contract for updates
+        that do not know about per-advertiser probabilities).
+        """
+        old_probs = np.asarray(old_probs, dtype=np.float64)
+        if old_probs.shape != (self.old_graph.m,):
+            raise GraphUpdateError(
+                f"probability family has shape {old_probs.shape}, expected "
+                f"({self.old_graph.m},)"
+            )
+        new_probs = np.empty(self.new_graph.m, dtype=np.float64)
+        kept = self.edge_map >= 0
+        new_probs[self.edge_map[kept]] = old_probs[kept]
+        new_probs[self.inserted_edge_ids] = self.inserted_probs
+        if self._set_prob_old_ids.size:
+            new_probs[self.edge_map[self._set_prob_old_ids]] = (
+                self._set_prob_values
+            )
+        return new_probs
+
+    def changed_heads(self, old_probs: np.ndarray | None = None) -> np.ndarray:
+        """Unique heads of the edges this batch actually changed.
+
+        Inserted and deleted edges always count.  ``set_prob`` targets
+        count only when *old_probs* (one probability family over the old
+        graph) shows the value really moved for that family; with
+        *old_probs* omitted every ``set_prob`` target counts.  An RR set
+        is affected by the batch iff it contains one of these heads —
+        its reverse BFS flipped a coin on every in-arc of every member,
+        and on no other edge (docs/ARCHITECTURE.md §14).
+        """
+        heads = [self._structural_heads]
+        if self._set_prob_old_ids.size:
+            if old_probs is None:
+                moved = np.ones(self._set_prob_old_ids.size, dtype=bool)
+            else:
+                old_probs = np.asarray(old_probs, dtype=np.float64)
+                moved = (
+                    old_probs[self._set_prob_old_ids] != self._set_prob_values
+                )
+            _, old_heads = self.old_graph.edge_array()
+            heads.append(old_heads[self._set_prob_old_ids[moved]])
+        return np.unique(np.concatenate(heads).astype(np.int64))
+
+    def summary(self) -> dict:
+        """JSON-able provenance block (manifest rows, session reports)."""
+        ops = {"insert": 0, "delete": 0, "set_prob": 0}
+        for update in self.updates:
+            ops[update.op] += 1
+        return {
+            "updates": len(self.updates),
+            "ops": ops,
+            "old_m": self.old_graph.m,
+            "new_m": self.new_graph.m,
+        }
+
+
+def _edge_lookup(graph: DiGraph):
+    """Vectorizable ``(tail, head) -> canonical id`` lookup over *graph*."""
+    tails, heads = graph.edge_array()
+    keys = tails * graph.n + heads
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+
+    def lookup(query_keys: np.ndarray) -> np.ndarray:
+        """Canonical ids for *query_keys*; -1 where the arc is absent."""
+        if not sorted_keys.size:
+            return -np.ones(query_keys.size, dtype=np.int64)
+        pos = np.searchsorted(sorted_keys, query_keys)
+        pos = np.minimum(pos, sorted_keys.size - 1)
+        found = sorted_keys[pos] == query_keys
+        out = -np.ones(query_keys.size, dtype=np.int64)
+        out[found] = order[pos[found]]
+        return out
+
+    return lookup
+
+
+def compile_updates(graph: DiGraph, updates: Iterable) -> UpdatePlan:
+    """Compile an update batch against *graph* into an :class:`UpdatePlan`.
+
+    Validates every update against the current graph (endpoints in
+    range, no self loops unless the graph allows them, delete/set_prob
+    targets exist, insert targets do not), then builds the new
+    :class:`DiGraph` and the old→new bookkeeping in one pass.  The input
+    graph is untouched.  Only deduplicated graphs are supported — on a
+    multigraph ``(tail, head)`` does not name a unique edge, so updates
+    would be ambiguous.
+    """
+    if not graph.deduped:
+        # ``deduped`` records that the constructor *ran* dedupe; graphs
+        # built with ``dedupe=False`` (the generators) may still have
+        # unique arcs, which is all that updates actually need.
+        tails, heads = graph.edge_array()
+        keys = tails * graph.n + heads
+        if np.unique(keys).size != keys.size:
+            raise GraphUpdateError(
+                "edge updates require a deduplicated graph; (tail, head) "
+                "is ambiguous on a multigraph"
+            )
+    batch = normalize_updates(updates)
+    n = graph.n
+    for update in batch:
+        if not (0 <= update.tail < n and 0 <= update.head < n):
+            raise GraphUpdateError(
+                f"{update.op} {update.tail}->{update.head}: endpoints must "
+                f"lie in [0, {n})"
+            )
+        if update.tail == update.head and not graph.allows_self_loops:
+            raise GraphUpdateError(
+                f"{update.op} {update.tail}->{update.head}: self loops are "
+                "not allowed on this graph"
+            )
+
+    lookup = _edge_lookup(graph)
+    arc_keys = np.asarray(
+        [update.tail * n + update.head for update in batch], dtype=np.int64
+    )
+    existing = lookup(arc_keys) if batch else np.empty(0, dtype=np.int64)
+
+    deleted_ids: list[int] = []
+    inserted_tails: list[int] = []
+    inserted_heads: list[int] = []
+    inserted_prob_values: list[float] = []
+    set_prob_ids: list[int] = []
+    set_prob_values: list[float] = []
+    for update, old_id in zip(batch, existing):
+        old_id = int(old_id)
+        if update.op == "insert":
+            if old_id >= 0:
+                raise GraphUpdateError(
+                    f"insert {update.tail}->{update.head}: arc already exists "
+                    "(use set_prob to re-weight it)"
+                )
+            inserted_tails.append(update.tail)
+            inserted_heads.append(update.head)
+            inserted_prob_values.append(float(update.prob))
+        elif old_id < 0:
+            raise GraphUpdateError(
+                f"{update.op} {update.tail}->{update.head}: no such arc"
+            )
+        elif update.op == "delete":
+            deleted_ids.append(old_id)
+        else:  # set_prob
+            set_prob_ids.append(old_id)
+            set_prob_values.append(float(update.prob))
+
+    old_tails, old_heads = graph.edge_array()
+    keep = np.ones(graph.m, dtype=bool)
+    if deleted_ids:
+        keep[np.asarray(deleted_ids, dtype=np.int64)] = False
+    new_input_tails = np.concatenate(
+        [old_tails[keep], np.asarray(inserted_tails, dtype=np.int64)]
+    )
+    new_input_heads = np.concatenate(
+        [old_heads[keep], np.asarray(inserted_heads, dtype=np.int64)]
+    )
+    new_graph = DiGraph(
+        n,
+        new_input_tails,
+        new_input_heads,
+        dedupe=True,
+        allow_self_loops=graph.allows_self_loops,
+    )
+
+    # Old→new id map by arc key: keys are unique on both sides (deduped),
+    # so the match is exact regardless of canonical-order internals.
+    new_lookup = _edge_lookup(new_graph)
+    edge_map = -np.ones(graph.m, dtype=np.int64)
+    if keep.any():
+        kept_ids = np.flatnonzero(keep)
+        edge_map[kept_ids] = new_lookup(old_tails[kept_ids] * n + old_heads[kept_ids])
+    if inserted_tails:
+        ins_tails = np.asarray(inserted_tails, dtype=np.int64)
+        ins_heads = np.asarray(inserted_heads, dtype=np.int64)
+        inserted_edge_ids = new_lookup(ins_tails * n + ins_heads)
+        structural_heads = np.concatenate(
+            [old_heads[np.asarray(deleted_ids, dtype=np.int64)], ins_heads]
+        )
+    else:
+        inserted_edge_ids = np.empty(0, dtype=np.int64)
+        structural_heads = old_heads[np.asarray(deleted_ids, dtype=np.int64)]
+
+    return UpdatePlan(
+        old_graph=graph,
+        new_graph=new_graph,
+        updates=batch,
+        edge_map=edge_map,
+        inserted_edge_ids=inserted_edge_ids,
+        inserted_probs=np.asarray(inserted_prob_values, dtype=np.float64),
+        set_prob_old_ids=np.asarray(set_prob_ids, dtype=np.int64),
+        set_prob_values=np.asarray(set_prob_values, dtype=np.float64),
+        structural_heads=np.unique(structural_heads.astype(np.int64)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Deterministic schedules (the grid runner's ``mutations`` axis)
+# ----------------------------------------------------------------------
+def random_update_batch(
+    graph: DiGraph,
+    rng,
+    size: int,
+    *,
+    ops: Sequence[str] = UPDATE_OPS,
+    prob: float = 0.1,
+    ts: int = 0,
+) -> tuple[EdgeUpdate, ...]:
+    """One random, valid batch of *size* updates against *graph*.
+
+    Draws each update's op uniformly from *ops*: delete/set_prob pick a
+    uniform existing arc, insert picks a uniform absent non-self-loop
+    arc (rejection sampling).  Inserted arcs get probability *prob*;
+    ``set_prob`` draws uniformly from ``[0, prob]``.  Deterministic for
+    a fixed generator state; every drawn arc is distinct, so the batch
+    always passes :func:`normalize_updates`.
+    """
+    rng = as_generator(rng)
+    ops = tuple(ops)
+    for op in ops:
+        if op not in UPDATE_OPS:
+            raise GraphUpdateError(
+                f"unknown edge-update op {op!r}; options: {UPDATE_OPS}"
+            )
+    if size < 0:
+        raise GraphUpdateError(f"batch size must be non-negative, got {size}")
+    tails, heads = graph.edge_array()
+    lookup = _edge_lookup(graph)
+    used: set[tuple[int, int]] = set()
+    batch: list[EdgeUpdate] = []
+    for index in range(size):
+        op = ops[int(rng.integers(0, len(ops)))]
+        if op == "insert":
+            arc = None
+            for _ in range(64 * graph.n + 64):
+                tail = int(rng.integers(0, graph.n))
+                head = int(rng.integers(0, graph.n))
+                if tail == head and not graph.allows_self_loops:
+                    continue
+                if (tail, head) in used:
+                    continue
+                if int(lookup(np.asarray([tail * graph.n + head]))[0]) >= 0:
+                    continue
+                arc = (tail, head)
+                break
+            if arc is None:
+                raise GraphUpdateError(
+                    "could not find an absent arc to insert (graph nearly "
+                    "complete?)"
+                )
+            batch.append(
+                EdgeUpdate("insert", arc[0], arc[1], prob=prob, ts=ts)
+            )
+            used.add(arc)
+        else:
+            candidates = [
+                eid
+                for eid in range(graph.m)
+                if (int(tails[eid]), int(heads[eid])) not in used
+            ]
+            if not candidates:
+                raise GraphUpdateError(
+                    f"graph has no remaining arcs for a {op!r} update"
+                )
+            eid = candidates[int(rng.integers(0, len(candidates)))]
+            arc = (int(tails[eid]), int(heads[eid]))
+            value = None if op == "delete" else float(rng.random() * prob)
+            batch.append(EdgeUpdate(op, arc[0], arc[1], prob=value, ts=ts))
+            used.add(arc)
+    return tuple(batch)
+
+
+def random_update_schedule(
+    graph: DiGraph,
+    seed,
+    *,
+    batches: int,
+    edges_per_batch: int,
+    ops: Sequence[str] = UPDATE_OPS,
+    prob: float = 0.1,
+) -> list[tuple[EdgeUpdate, ...]]:
+    """A deterministic schedule of *batches* sequential update batches.
+
+    Batch ``k`` is generated against the graph state *after* batches
+    ``0..k-1`` were applied (so deletes never target already-deleted
+    arcs) and carries ``ts=k``.  A pure function of ``(graph, seed)`` —
+    the grid runner keys *seed* off the per-cell seed so a cell's
+    mutation stream depends only on ``(spec, root seed)``.
+    """
+    rng = as_generator(seed)
+    schedule: list[tuple[EdgeUpdate, ...]] = []
+    current = graph
+    for index in range(int(batches)):
+        batch = random_update_batch(
+            current, rng, int(edges_per_batch), ops=ops, prob=prob, ts=index
+        )
+        schedule.append(batch)
+        current = compile_updates(current, batch).new_graph
+    return schedule
+
+
+__all__ = [
+    "UPDATE_OPS",
+    "EdgeUpdate",
+    "UpdatePlan",
+    "as_update",
+    "normalize_updates",
+    "compile_updates",
+    "random_update_batch",
+    "random_update_schedule",
+]

@@ -189,11 +189,17 @@ class SamplerBackend(ABC):
     probs: np.ndarray
 
     @abstractmethod
-    def sample_batch_flat(self, count: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    def sample_batch_flat(
+        self, count: int, rng=None, *, roots=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Draw *count* RR sets as one flat ``(members, indptr)`` CSR pair.
 
         Same output contract as :meth:`RRSampler.sample_batch_flat`:
         both arrays ``int64``, freshly allocated, owned by the caller.
+        *roots*, when given (``int64[count]``), pins each set's root and
+        skips the root draw — the incremental-maintenance resample path
+        (docs/ARCHITECTURE.md §14); the RNG then starts directly at the
+        first coin-flip vector.
         """
 
     def sample_batch(self, count: int, rng=None) -> list[np.ndarray]:
@@ -232,8 +238,10 @@ class SerialBackend(SamplerBackend):
         self.graph = graph
         self.probs = np.asarray(probs, dtype=np.float64)
 
-    def sample_batch_flat(self, count: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
-        return self._sampler.sample_batch_flat(count, rng)
+    def sample_batch_flat(
+        self, count: int, rng=None, *, roots=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self._sampler.sample_batch_flat(count, rng, roots=roots)
 
 
 # ----------------------------------------------------------------------
@@ -273,9 +281,11 @@ def _worker_main(
 ) -> None:  # pragma: no cover - runs in child processes
     """Worker loop: attach shared CSR views, sample shards until told to stop.
 
-    Tasks are ``(task_id, prob_shm_name, count, seed_seq, fault)``;
+    Tasks are ``(task_id, prob_shm_name, count, seed_seq, roots, fault)``;
     results are ``(task_id, members, indptr)`` (or ``(task_id, exc)`` on
-    failure).  A ``None`` task shuts the worker down.  ``fault`` is
+    failure).  A ``None`` task shuts the worker down.  ``roots`` is
+    ``None`` for fresh sampling or an ``int64[count]`` array pinning the
+    shard's roots (the incremental-resample path).  ``fault`` is
     ``None`` in production; chaos tests inject ``("kill",)`` (the worker
     exits mid-batch without answering) or ``("delay", seconds)`` (the
     worker sleeps before sampling, simulating a hang).
@@ -298,7 +308,7 @@ def _worker_main(
             task = task_queue.get()
             if task is None:
                 break
-            task_id, prob_name, count, seed_seq, fault = task
+            task_id, prob_name, count, seed_seq, roots, fault = task
             try:
                 if fault is not None:
                     if fault[0] == "kill":
@@ -319,6 +329,7 @@ def _worker_main(
                     count,
                     as_generator(seed_seq),
                     chunk_bytes,
+                    roots,
                 )
                 result_queue.put((task_id, members, indptr))
             except Exception as exc:  # surface, don't hang the parent
@@ -597,13 +608,18 @@ class SharedGraphPool:
         prob_name: str,
         counts: list[int],
         seed_seqs: list[np.random.SeedSequence],
+        roots: list | None = None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Sample ``len(counts)`` shards concurrently; results in shard order.
 
         Shard ``k`` draws ``counts[k]`` sets under
         ``default_rng(seed_seqs[k])`` running the exact serial kernel, so
         concatenating the returned pairs equals a single-process run of
-        the same shard plan (the parity tests assert this).
+        the same shard plan (the parity tests assert this).  *roots*,
+        when given, is one ``int64[counts[k]]`` array per shard pinning
+        that shard's roots (the incremental-resample path); recovery
+        re-dispatches a shard with its original roots, so pinned-root
+        batches survive worker crashes bit-identically too.
 
         Collection is *supervised*: crashed workers are respawned and
         their shards re-dispatched (same seed sequence → bit-identical
@@ -621,6 +637,8 @@ class SharedGraphPool:
             raise EstimationError("pool is closed")
         if len(counts) != len(seed_seqs):
             raise EstimationError("counts and seed_seqs must have equal length")
+        if roots is not None and len(roots) != len(counts):
+            raise EstimationError("roots must have one entry per shard")
         plan = self._faults_plan()
         id_to_shard: dict[int, int] = {}
 
@@ -637,7 +655,14 @@ class SharedGraphPool:
                 if rule is not None:
                     fault = ("delay", float(rule.delay_s))
             self._task_queue.put(
-                (task_id, prob_name, int(counts[shard]), seed_seqs[shard], fault)
+                (
+                    task_id,
+                    prob_name,
+                    int(counts[shard]),
+                    seed_seqs[shard],
+                    None if roots is None else roots[shard],
+                    fault,
+                )
             )
 
         for k in range(len(counts)):
@@ -908,12 +933,14 @@ class ParallelBackend(SamplerBackend):
         self.fault_counters["pool_degraded"] += 1
 
     def _sample_shards_inproc(
-        self, counts: list[int], seqs
+        self, counts: list[int], seqs, shard_roots=None
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Run the shard plan in-process — the degraded-mode executor.
 
         Exactly what the workers would have computed: the configured
-        kernel over the in-CSR arrays with each shard's own generator.
+        kernel over the in-CSR arrays with each shard's own generator
+        (and, on the incremental-resample path, each shard's pinned
+        roots).
         """
         if self._probs_in is None:
             self._probs_in = np.ascontiguousarray(
@@ -921,6 +948,8 @@ class ParallelBackend(SamplerBackend):
             )
         kernel_fn = resolve_batch_kernel(self.kernel)
         g = self.graph
+        if shard_roots is None:
+            shard_roots = [None] * len(counts)
         return [
             kernel_fn(
                 g.n,
@@ -930,11 +959,14 @@ class ParallelBackend(SamplerBackend):
                 int(count),
                 as_generator(seq),
                 DEFAULT_CHUNK_BYTES,
+                sroots,
             )
-            for count, seq in zip(counts, seqs)
+            for count, seq, sroots in zip(counts, seqs, shard_roots)
         ]
 
-    def sample_batch_flat(self, count: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    def sample_batch_flat(
+        self, count: int, rng=None, *, roots=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Draw *count* RR sets across the pool; one merged CSR pair.
 
         See the module docstring for the RNG-stream contract.  Batches
@@ -955,17 +987,33 @@ class ParallelBackend(SamplerBackend):
         if self._serial is not None:
             # workers == 1 without a pool: in-process, caller's stream,
             # bit-identical to SerialBackend.
-            return self._serial.sample_batch_flat(count, rng)
+            return self._serial.sample_batch_flat(count, rng, roots=roots)
         counts = shard_counts(count, self.workers)
         root = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
         seqs = root.spawn(len(counts))
+        shard_roots = None
+        if roots is not None:
+            # Split pinned roots along the shard plan: shard k samples
+            # sets [offset_k, offset_k + counts[k]), and merge_shards
+            # concatenates in shard order, so output set i keeps root i.
+            roots = np.ascontiguousarray(roots, dtype=np.int64)
+            if roots.shape != (count,):
+                raise EstimationError(
+                    f"roots must have shape ({count},), got {roots.shape}"
+                )
+            offsets = np.cumsum([0] + counts)
+            shard_roots = [
+                roots[offsets[k] : offsets[k + 1]] for k in range(len(counts))
+            ]
         if self._pool is not None and not self._degraded:
             try:
-                parts = self._pool.sample_shards(self._prob_name, counts, seqs)
+                parts = self._pool.sample_shards(
+                    self._prob_name, counts, seqs, shard_roots
+                )
                 return merge_shards(parts)
             except PoolDegradedError:
                 self._note_degraded()
-        return merge_shards(self._sample_shards_inproc(counts, seqs))
+        return merge_shards(self._sample_shards_inproc(counts, seqs, shard_roots))
 
     def close(self) -> None:
         """Close this backend; further sampling raises.

@@ -130,17 +130,24 @@ def _segment_counts(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     return csum[indptr[1:]] - csum[indptr[:-1]]
 
 
-def _gather_segments(
-    members: np.ndarray, indptr: np.ndarray, sids: np.ndarray
-) -> np.ndarray:
-    """Concatenate ``members[indptr[s]:indptr[s+1]]`` for each s in *sids*."""
+def _segment_index(indptr: np.ndarray, sids: np.ndarray) -> np.ndarray:
+    """Flat indices of ``indptr[s]:indptr[s+1]`` for each s in *sids*."""
     starts = indptr[sids]
     lens = indptr[sids + 1] - starts
     total = int(lens.sum())
     if total == 0:
         return _EMPTY_I64
     ends = np.cumsum(lens)
-    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - lens), lens)
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - lens), lens)
+
+
+def _gather_segments(
+    members: np.ndarray, indptr: np.ndarray, sids: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``members[indptr[s]:indptr[s+1]]`` for each s in *sids*."""
+    idx = _segment_index(indptr, sids)
+    if idx.size == 0:
+        return _EMPTY_I64
     return members[idx]
 
 
@@ -539,15 +546,151 @@ class SharedRRStore:
         members, indptr = _flatten_sets(new_sets)
         self.extend_flat(members, indptr)
 
-    def sets_containing(self, node: int) -> np.ndarray:
-        """Ids (ascending) of all stored sets that contain *node*."""
+    def _inverted(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full-store node → set-ids index, rebuilt lazily.
+
+        Reads the member array exactly once per (re)build — spilled
+        stores pay one sequential pass over the memmap, and the index
+        itself always lives in RAM — and is dropped by every mutation
+        (:meth:`extend_flat`, :meth:`replace_sets`), so queries never
+        see ids for members that were since rewritten.
+        """
         if self._inv_indptr is None:
             lens = np.diff(self.indptr)
             sids = np.repeat(np.arange(self.size, dtype=np.int64), lens)
             self._inv_indptr, self._inv_sets = build_inverted_index(
-                self.members, sids, self.n_nodes
+                np.asarray(self.members, dtype=np.int64), sids, self.n_nodes
             )
-        return self._inv_sets[self._inv_indptr[node] : self._inv_indptr[node + 1]]
+        return self._inv_indptr, self._inv_sets
+
+    def sets_containing(self, node: int) -> np.ndarray:
+        """Ids (ascending) of all stored sets that contain *node*."""
+        inv_indptr, inv_sets = self._inverted()
+        return inv_sets[inv_indptr[node] : inv_indptr[node + 1]]
+
+    def roots(self) -> np.ndarray:
+        """The recorded root of every stored set (``int64[size]``).
+
+        A sampled RR set's first member is its root (the batch kernels
+        emit the root first, then each level's fresh members;
+        docs/ARCHITECTURE.md §14) and sets are never empty, so the roots
+        are exactly ``members[indptr[:-1]]``.  This *is* the per-set
+        traversal record: together with membership it reproduces the
+        reverse BFS, because every member's full in-arc slice — and no
+        other edge — had its coin flipped.
+        """
+        return np.asarray(self.members[self.indptr[:-1]], dtype=np.int64)
+
+    def sets_touching(self, nodes) -> np.ndarray:
+        """Ids (ascending, unique) of sets whose traversal flipped a coin
+        on an in-arc of any node in *nodes*.
+
+        The edge-level invalidation query: a stored set's reverse BFS
+        flipped the coins of exactly the in-arcs of its members, so the
+        sets that could have observed a change to edge ``u -> v`` are
+        precisely the sets containing ``v`` — pass the *heads* of the
+        changed edges (:meth:`repro.graph.updates.UpdatePlan.changed_heads`).
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size == 0 or self.size == 0:
+            return _EMPTY_I64
+        if nodes[0] < 0 or nodes[-1] >= self.n_nodes:
+            raise EstimationError(
+                f"node ids must lie in [0, {self.n_nodes}), got range "
+                f"[{nodes[0]}, {nodes[-1]}]"
+            )
+        inv_indptr, inv_sets = self._inverted()
+        hits = _gather_segments(inv_sets, inv_indptr, nodes)
+        return np.unique(hits)
+
+    def replace_sets(
+        self, sids: np.ndarray, members: np.ndarray, indptr: np.ndarray
+    ) -> None:
+        """Rewrite the member lists of the sets *sids* in place.
+
+        *members*/*indptr* is a flat CSR batch with exactly
+        ``len(sids)`` sets: batch set ``j`` becomes the new content of
+        store set ``sids[j]``.  The store keeps its size; untouched sets
+        keep their ids and content.  This is the invalidation-resample
+        write path (docs/ARCHITECTURE.md §14): the session resamples the
+        invalidated ids from their recorded roots and swaps the results
+        in here.
+
+        Spill safety: a spilled store's surviving members are gathered
+        to RAM and the live memmap reference is dropped *before* the
+        spill file is resized — resizing a file under a live ``mmap``
+        risks ``SIGBUS`` on a later access — then the rewritten array is
+        flushed back and remapped.  The inverted index is always
+        invalidated, so :meth:`sets_containing` / :meth:`sets_touching`
+        after a replace rebuild against the rewritten members.
+        """
+        if self._closed:
+            raise EstimationError("store is closed")
+        sids = np.asarray(sids, dtype=np.int64)
+        members = np.ascontiguousarray(members, dtype=np.int64)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        _validate_flat(members, indptr, self.n_nodes)
+        if sids.ndim != 1 or indptr.size != sids.size + 1:
+            raise EstimationError(
+                f"got {sids.size} set ids but {indptr.size - 1} replacement sets"
+            )
+        if sids.size == 0:
+            return
+        if np.any(np.diff(sids) <= 0):
+            raise EstimationError("set ids must be strictly increasing")
+        if sids[0] < 0 or sids[-1] >= self.size:
+            raise EstimationError(
+                f"set ids must lie in [0, {self.size}), got range "
+                f"[{sids[0]}, {sids[-1]}]"
+            )
+        if np.any(np.diff(indptr) < 1):
+            raise EstimationError("replacement RR sets must be non-empty")
+
+        old_indptr = self.indptr.astype(np.int64)
+        # Gather to RAM up front: on a spilled store the source memmap
+        # must not be read after (or truncated under) the rewrite below.
+        old_members = (
+            np.array(self.members) if self.spilled else self.members
+        )
+        new_lens = np.diff(old_indptr)
+        new_lens[sids] = np.diff(indptr)
+        new_indptr64 = np.concatenate(
+            ([0], np.cumsum(new_lens, dtype=np.int64))
+        )
+        total = int(new_indptr64[-1])
+
+        out = np.empty(total, dtype=self.member_dtype)
+        replaced = np.zeros(self.size, dtype=bool)
+        replaced[sids] = True
+        kept_ids = np.flatnonzero(~replaced)
+        if kept_ids.size:
+            dest = _segment_index(new_indptr64, kept_ids)
+            out[dest] = _gather_segments(old_members, old_indptr, kept_ids)
+        dest = _segment_index(new_indptr64, sids)
+        out[dest] = members.astype(self.member_dtype)
+
+        indptr_dtype = (
+            np.int64 if total > INDPTR_NARROW_MAX else self.indptr.dtype
+        )
+        if self.spilled:
+            self.members = np.empty(0, dtype=self.member_dtype)
+            mapped = self._spill_map(total)
+            mapped[:] = out
+            mapped.flush()
+            self.members = mapped
+        elif (
+            self.bytes_budget is not None
+            and total * self.member_dtype.itemsize > self.bytes_budget
+        ):
+            mapped = self._spill_map(total)
+            mapped[:] = out
+            mapped.flush()
+            self.members = mapped
+        else:
+            self.members = out
+        self.indptr = new_indptr64.astype(indptr_dtype)
+        self._inv_indptr = self._inv_sets = None
+        self.peak_bytes = max(self.peak_bytes, self.memory_bytes())
 
     def set_members(self, sid: int) -> np.ndarray:
         """Member ids of set *sid* (a CSR slice view)."""

@@ -22,7 +22,9 @@ kernel and returns bit-identical ``(members, indptr)`` arrays.  This
 holds because every stochastic step stays in Python on the caller's
 :class:`numpy.random.Generator`:
 
-* the single ``rng.integers(0, n, count)`` roots draw;
+* the single ``rng.integers(0, n, count)`` roots draw (skipped by both
+  kernels identically when pinned ``roots`` are passed — the
+  incremental-maintenance resample path);
 * one ``rng.random(E)`` draw per chunk per BFS level, where ``E`` is
   the frontier's total in-degree — identical between kernels because
   the frontier itself is identical.
@@ -169,14 +171,18 @@ def sample_batch_flat_kernel_numba(
     count: int,
     rng: np.random.Generator,
     chunk_bytes: int | None = None,
+    roots: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Numba-backed twin of :func:`~repro.rrset.sampler.sample_batch_flat_kernel`.
 
     Same signature, same RNG stream, bit-identical ``(members, indptr)``
     output (see the module docstring for the argument).  RNG draws stay
     on the Python side; the compiled helpers handle the per-level gather
-    and frontier advance.  JIT compilation happens once per process on
-    first use (``cache=True`` persists it across processes sharing a
+    and frontier advance.  *roots*, when given, pins the per-set roots
+    and skips the root draw — exactly as in the numpy kernel, so the
+    bit-identity contract extends to the pinned-root resample path.
+    JIT compilation happens once per process on first use
+    (``cache=True`` persists it across processes sharing a
     ``__pycache__``), which is how :class:`SharedGraphPool` workers pick
     the kernel up: each worker resolves the seam once at startup.
     """
@@ -186,7 +192,16 @@ def sample_batch_flat_kernel_numba(
         chunk_bytes = DEFAULT_CHUNK_BYTES
     if count == 0:
         return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
-    roots = rng.integers(0, n, size=count).astype(np.int64)
+    if roots is None:
+        roots = rng.integers(0, n, size=count).astype(np.int64)
+    else:
+        roots = np.ascontiguousarray(roots, dtype=np.int64)
+        if roots.shape != (count,):
+            raise EstimationError(
+                f"roots must have shape ({count},), got {roots.shape}"
+            )
+        if roots.size and (roots.min() < 0 or roots.max() >= n):
+            raise EstimationError(f"roots must lie in [0, {n})")
 
     chunk = batch_chunk_size(n, count, chunk_bytes)
     member_sets: list[np.ndarray] = []

@@ -99,6 +99,7 @@ class SessionPool:
             "evictions": 0,
             "evicted_bytes": 0,
             "discards": 0,
+            "stale_discards": 0,
         }
 
     # ------------------------------------------------------------------
@@ -117,6 +118,17 @@ class SessionPool:
             raise ServeError("session pool is closed")
         key = request.pool_key
         entry = self._entries.get(key)
+        if entry is not None and entry.session.graph_epoch != 0:
+            # The session's graph was mutated since the pool opened it
+            # (apply_edge_updates bumped graph_epoch), so it no longer
+            # answers for the dataset entry the pool key names — a warm
+            # hit here would serve results for a graph the client never
+            # asked about.  Discard it and reopen cold below
+            # (docs/ARCHITECTURE.md §14).
+            self._entries.pop(key)
+            entry.session.close()
+            self.counters["stale_discards"] += 1
+            entry = None
         if entry is not None:
             self._entries.move_to_end(key)
             self.counters["warm_hits"] += 1

@@ -158,6 +158,33 @@ class TestSessionPool:
             fresh, warm = pool.lease(QueryRequest(dataset=dict(ENTRY)))
             assert not warm and fresh.session is not entry.session
 
+    def test_mutated_session_never_served_warm(self):
+        """A pooled session whose graph was mutated is stale: its pool
+        key still names the *original* dataset entry, so answering from
+        it would return allocations for a graph the client never asked
+        about.  ``lease`` must discard it and reopen cold
+        (docs/ARCHITECTURE.md §14)."""
+        with SessionPool(CFG) as pool:
+            request = QueryRequest(dataset=dict(ENTRY))
+            entry, _ = pool.lease(request)
+            # Mutate the pooled session out from under the pool (any
+            # holder of the session object can: leases are not copies).
+            tails, heads = entry.dataset.graph.edge_array()
+            entry.session.apply_edge_updates(
+                [("delete", int(tails[0]), int(heads[0]))]
+            )
+            assert entry.session.graph_epoch == 1
+            fresh, warm = pool.lease(request)
+            assert not warm
+            assert fresh.session is not entry.session
+            assert entry.session.is_closed
+            assert fresh.session.graph_epoch == 0
+            assert pool.counters["stale_discards"] == 1
+            assert pool.counters["warm_hits"] == 0
+            # The replacement is genuinely healthy: it serves warm next.
+            again, warm = pool.lease(request)
+            assert warm and again.session is fresh.session
+
     def test_closed_pool_refuses_leases(self):
         pool = SessionPool(CFG)
         pool.close()
